@@ -1,0 +1,43 @@
+// Command poseidon-inspect dumps the structure of a saved Poseidon heap
+// image: geometry, root pointer, per-sub-heap block statistics, hash-table
+// levels, log states and lifetime counters.
+//
+//	poseidon-inspect heap.img
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"poseidon/internal/core"
+	"poseidon/internal/nvm"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: poseidon-inspect <heap-image>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "poseidon-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	dev, err := nvm.LoadFile(path, nvm.Options{})
+	if err != nil {
+		return err
+	}
+	h, err := core.Load(dev, core.Options{})
+	if err != nil {
+		return err
+	}
+	return h.Inspect(os.Stdout)
+}

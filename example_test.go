@@ -1,0 +1,98 @@
+package poseidon_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"poseidon"
+)
+
+// Example shows the complete lifecycle: create, allocate, persist, anchor
+// at the root, save, reopen, and read back.
+func Example() {
+	dir, err := os.MkdirTemp("", "poseidon-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/heap.img"
+
+	// First "process": create and populate.
+	h, err := poseidon.Open(path, poseidon.Options{
+		Subheaps:        2,
+		SubheapUserSize: 8 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t, err := h.Thread()
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := t.Alloc(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := t.Persist(p, 0, []byte("survives restarts")); err != nil {
+		log.Fatal(err)
+	}
+	if err := h.SetRoot(p); err != nil {
+		log.Fatal(err)
+	}
+	t.Close()
+	if err := h.Save(); err != nil {
+		log.Fatal(err)
+	}
+	_ = h.Close()
+
+	// Second "process": reopen and follow the root.
+	h2, err := poseidon.Open(path, poseidon.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t2, err := h2.Thread()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer t2.Close()
+	root, err := h2.Root()
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 17)
+	if err := t2.Read(root, 0, buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(buf))
+	// Output: survives restarts
+}
+
+// ExampleThread_TxAlloc shows transactional allocation: the three nodes
+// become durable together at the final is_end commit; a crash before it
+// would roll all of them back at the next Open.
+func ExampleThread_TxAlloc() {
+	h, err := poseidon.Create(poseidon.Options{
+		Subheaps:        1,
+		SubheapUserSize: 4 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t, err := h.Thread()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer t.Close()
+
+	var nodes []poseidon.NVMPtr
+	for i := 0; i < 3; i++ {
+		p, err := t.TxAlloc(64, i == 2) // is_end on the last allocation
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes = append(nodes, p)
+	}
+	fmt.Println(len(nodes), "nodes allocated atomically")
+	// Output: 3 nodes allocated atomically
+}

@@ -1,0 +1,102 @@
+// Quickstart: create (or reopen) a persistent heap, allocate a block,
+// store durable data reachable from the root pointer, and read it back
+// after a "restart". Run it twice to see persistence across processes:
+//
+//	go run ./examples/quickstart         # first run: creates heap.img
+//	go run ./examples/quickstart         # second run: finds the old data
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"poseidon"
+)
+
+const heapPath = "heap.img"
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Open loads an existing image (replaying crash-recovery logs) or
+	// creates a fresh heap if the file does not exist.
+	h, err := poseidon.Open(heapPath, poseidon.Options{
+		Subheaps:        2,
+		SubheapUserSize: 8 << 20,
+	})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+
+	// Every goroutine allocates through its own Thread handle.
+	t, err := h.Thread()
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+
+	root, err := h.Root()
+	if err != nil {
+		return err
+	}
+	if !root.IsNull() {
+		// Second run: the previous process left data behind.
+		var count [8]byte
+		if err := t.Read(root, 0, count[:]); err != nil {
+			return err
+		}
+		msg := make([]byte, 32)
+		if err := t.Read(root, 8, msg); err != nil {
+			return err
+		}
+		fmt.Printf("found existing root %v\n", root)
+		fmt.Printf("stored message: %q\n", trim(msg))
+		runs, err := t.ReadU64(root, 0)
+		if err != nil {
+			return err
+		}
+		runs++
+		if err := t.WriteU64(root, 0, runs); err != nil {
+			return err
+		}
+		if err := t.Flush(root, 0, 8); err != nil {
+			return err
+		}
+		fmt.Printf("this heap has now been opened %d times\n", runs)
+		return h.Save()
+	}
+
+	// First run: allocate a persistent block and anchor it at the root.
+	p, err := t.Alloc(64)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteU64(p, 0, 1); err != nil { // run counter
+		return err
+	}
+	if err := t.Persist(p, 8, []byte("hello, persistent memory!")); err != nil {
+		return err
+	}
+	if err := t.Flush(p, 0, 8); err != nil {
+		return err
+	}
+	if err := h.SetRoot(p); err != nil {
+		return err
+	}
+	fmt.Printf("created %s with root %v — run me again!\n", heapPath, p)
+	return h.Save()
+}
+
+func trim(b []byte) string {
+	for i, v := range b {
+		if v == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,93 @@
+// tasklist: a persistent to-do list built on the pstruct layer — run it
+// repeatedly; each run adds a task, marks the oldest done, and shows the
+// surviving state. It demonstrates application-level crash-safe structures
+// (pstruct.List's pending-slot publication protocol) on top of the
+// allocator's guarantees.
+//
+//	go run ./examples/tasklist "write the report"
+//	go run ./examples/tasklist "review the PR"
+//	go run ./examples/tasklist            # no argument: just list and pop
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"poseidon"
+	"poseidon/pstruct"
+)
+
+const heapPath = "tasks.img"
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	h, err := poseidon.Open(heapPath, poseidon.Options{
+		Subheaps:        1,
+		SubheapUserSize: 4 << 20,
+	})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	t, err := h.Thread()
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+
+	// Find or create the list at the heap root.
+	var list *pstruct.List
+	root, err := h.Root()
+	if err != nil {
+		return err
+	}
+	if root.IsNull() {
+		list, err = pstruct.NewList(t)
+		if err != nil {
+			return err
+		}
+		if err := h.SetRoot(list.Anchor()); err != nil {
+			return err
+		}
+		fmt.Println("created a fresh task list")
+	} else {
+		// OpenList also completes/rolls back any push a crash interrupted.
+		list, err = pstruct.OpenList(t, root)
+		if err != nil {
+			return err
+		}
+	}
+
+	if len(args) > 0 {
+		if err := list.PushFront(t, []byte(args[0])); err != nil {
+			return err
+		}
+		fmt.Printf("added task: %q\n", args[0])
+	} else if done, ok, err := list.PopFront(t); err != nil {
+		return err
+	} else if ok {
+		fmt.Printf("completed task: %q\n", done)
+	}
+
+	n, err := list.Len(t)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d task(s) pending:\n", n)
+	i := 0
+	err = list.Walk(t, func(data []byte) bool {
+		i++
+		fmt.Printf("  %d. %s\n", i, data)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return h.Save()
+}

@@ -1,0 +1,132 @@
+// txalloc: transactional allocation (poseidon_tx_alloc, §5.3). A persistent
+// linked list is built inside a transaction — either every node survives a
+// crash, or none do, so the list can never lose its tail to a power cut.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"poseidon/internal/core"
+	"poseidon/internal/nvm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func opts() core.Options {
+	return core.Options{
+		Subheaps:        1,
+		SubheapUserSize: 4 << 20,
+		SubheapMetaSize: 512 << 10,
+		UndoLogSize:     64 << 10,
+		HeapID:          0xBEEF,
+		CrashTracking:   true,
+	}
+}
+
+// node layout: [0..8) next pointer location word, [8..16) payload.
+func buildList(t *core.Thread, values []uint64, commit bool) (core.NVMPtr, error) {
+	var head, prev core.NVMPtr
+	for i, v := range values {
+		isEnd := commit && i == len(values)-1
+		n, err := t.TxAlloc(16, isEnd)
+		if err != nil {
+			return core.NVMPtr{}, err
+		}
+		if err := t.WriteU64(n, 8, v); err != nil {
+			return core.NVMPtr{}, err
+		}
+		if err := t.Flush(n, 8, 8); err != nil {
+			return core.NVMPtr{}, err
+		}
+		if prev.IsNull() {
+			head = n
+		} else {
+			if err := t.WriteU64(prev, 0, n.Loc()); err != nil {
+				return core.NVMPtr{}, err
+			}
+			if err := t.Flush(prev, 0, 8); err != nil {
+				return core.NVMPtr{}, err
+			}
+		}
+		prev = n
+	}
+	return head, nil
+}
+
+func printList(h *core.Heap, t *core.Thread, head core.NVMPtr) error {
+	fmt.Print("list:")
+	for p := head; !p.IsNull(); {
+		v, err := t.ReadU64(p, 8)
+		if err != nil {
+			return err
+		}
+		fmt.Printf(" %d", v)
+		loc, err := t.ReadU64(p, 0)
+		if err != nil {
+			return err
+		}
+		if loc == 0 {
+			break
+		}
+		p = core.PtrFromLoc(h.HeapID(), loc)
+	}
+	fmt.Println()
+	return nil
+}
+
+func run() error {
+	h, err := core.Create(opts())
+	if err != nil {
+		return err
+	}
+	t, err := h.Thread()
+	if err != nil {
+		return err
+	}
+
+	// A committed transaction: the whole list becomes durable atomically.
+	head, err := buildList(t, []uint64{10, 20, 30, 40}, true)
+	if err != nil {
+		return err
+	}
+	if err := h.SetRoot(head); err != nil {
+		return err
+	}
+	fmt.Println("committed a 4-node list inside one transaction")
+	if err := printList(h, t, head); err != nil {
+		return err
+	}
+
+	// An uncommitted transaction interrupted by a crash: recovery frees
+	// every allocation the micro log recorded — no persistent leak.
+	if _, err := buildList(t, []uint64{77, 88, 99}, false); err != nil {
+		return err
+	}
+	fmt.Println("\nbuilt a 3-node list WITHOUT committing, then the power failed…")
+	if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+		return err
+	}
+	h2, err := core.Load(h.Device(), opts())
+	if err != nil {
+		return err
+	}
+	st := h2.Stats()
+	fmt.Printf("recovery freed %d uncommitted allocations\n", st.RecoveredBlocks)
+
+	t2, err := h2.Thread()
+	if err != nil {
+		return err
+	}
+	defer t2.Close()
+	root, err := h2.Root()
+	if err != nil {
+		return err
+	}
+	fmt.Println("the committed list is intact:")
+	return printList(h2, t2, root)
+}

@@ -1,0 +1,3 @@
+module poseidon
+
+go 1.24

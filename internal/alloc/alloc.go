@@ -1,0 +1,159 @@
+// Package alloc defines the allocator interface shared by Poseidon and the
+// two baseline allocators (the PMDK-like and Makalu-like reproductions), so
+// the benchmark harness and the conformance test suite can drive all three
+// identically — the shape of the paper's evaluation.
+package alloc
+
+import (
+	"errors"
+
+	"poseidon/internal/core"
+)
+
+// Ptr is an allocator-specific persistent pointer handle. Zero is never a
+// valid pointer.
+type Ptr uint64
+
+// Common error classes the conformance suite checks for. Implementations
+// wrap or alias these.
+var (
+	// ErrOutOfMemory means the allocator cannot satisfy the request.
+	ErrOutOfMemory = errors.New("alloc: out of memory")
+	// ErrBadFree means a free was rejected (invalid address or double
+	// free). Allocators that do NOT detect bad frees — the point of the
+	// paper's safety comparison — corrupt themselves instead of returning
+	// this.
+	ErrBadFree = errors.New("alloc: bad free")
+)
+
+// Handle is a per-thread allocation context. A Handle must not be used
+// concurrently from multiple goroutines; create one per worker.
+type Handle interface {
+	// Alloc returns a block of at least size bytes.
+	Alloc(size uint64) (Ptr, error)
+	// Free releases a block.
+	Free(p Ptr) error
+	// Write stores b at byte off of block p.
+	Write(p Ptr, off uint64, b []byte) error
+	// Read loads len(b) bytes from byte off of block p.
+	Read(p Ptr, off uint64, b []byte) error
+	// WriteU64 stores one word at byte off of block p.
+	WriteU64(p Ptr, off uint64, v uint64) error
+	// ReadU64 loads one word from byte off of block p.
+	ReadU64(p Ptr, off uint64) (uint64, error)
+	// Persist makes [off, off+n) of block p durable (flush + fence).
+	Persist(p Ptr, off, n uint64) error
+	// Close releases the handle.
+	Close()
+}
+
+// Allocator is one persistent memory allocator under test.
+type Allocator interface {
+	// Name identifies the allocator in benchmark output.
+	Name() string
+	// Shards returns the parallelism the allocator was configured for.
+	Shards() int
+	// Thread creates a per-worker handle, pinned to the given shard when
+	// the allocator supports placement (shard is a hint; implementations
+	// may ignore it).
+	Thread(shard int) (Handle, error)
+	// Close releases the allocator.
+	Close() error
+}
+
+// Poseidon adapts a core.Heap to the Allocator interface.
+type Poseidon struct {
+	heap *core.Heap
+}
+
+var _ Allocator = (*Poseidon)(nil)
+
+// NewPoseidon creates a Poseidon heap with the given options.
+func NewPoseidon(opts core.Options) (*Poseidon, error) {
+	h, err := core.Create(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Poseidon{heap: h}, nil
+}
+
+// WrapPoseidon adapts an existing heap.
+func WrapPoseidon(h *core.Heap) *Poseidon { return &Poseidon{heap: h} }
+
+// Heap returns the underlying heap.
+func (a *Poseidon) Heap() *core.Heap { return a.heap }
+
+// Name implements Allocator.
+func (a *Poseidon) Name() string { return "poseidon" }
+
+// Shards implements Allocator.
+func (a *Poseidon) Shards() int { return a.heap.Subheaps() }
+
+// Thread implements Allocator.
+func (a *Poseidon) Thread(shard int) (Handle, error) {
+	t, err := a.heap.ThreadOn(shard % a.heap.Subheaps())
+	if err != nil {
+		return nil, err
+	}
+	return &poseidonHandle{t: t, heapID: a.heap.HeapID()}, nil
+}
+
+// Close implements Allocator.
+func (a *Poseidon) Close() error { return a.heap.Close() }
+
+// poseidonHandle encodes core.NVMPtr locations (+1 so offset 0 stays
+// distinguishable from the nil Ptr) into the interface's Ptr word.
+type poseidonHandle struct {
+	t      *core.Thread
+	heapID uint64
+}
+
+var _ Handle = (*poseidonHandle)(nil)
+
+func (h *poseidonHandle) encode(p core.NVMPtr) Ptr { return Ptr(p.Loc() + 1) }
+
+func (h *poseidonHandle) decode(p Ptr) core.NVMPtr {
+	return core.PtrFromLoc(h.heapID, uint64(p)-1)
+}
+
+func (h *poseidonHandle) Alloc(size uint64) (Ptr, error) {
+	p, err := h.t.Alloc(size)
+	if err != nil {
+		if errors.Is(err, core.ErrOutOfMemory) {
+			return 0, ErrOutOfMemory
+		}
+		return 0, err
+	}
+	return h.encode(p), nil
+}
+
+func (h *poseidonHandle) Free(p Ptr) error {
+	err := h.t.Free(h.decode(p))
+	if errors.Is(err, core.ErrInvalidFree) || errors.Is(err, core.ErrDoubleFree) ||
+		errors.Is(err, core.ErrBadPointer) {
+		return ErrBadFree
+	}
+	return err
+}
+
+func (h *poseidonHandle) Write(p Ptr, off uint64, b []byte) error {
+	return h.t.Write(h.decode(p), off, b)
+}
+
+func (h *poseidonHandle) Read(p Ptr, off uint64, b []byte) error {
+	return h.t.Read(h.decode(p), off, b)
+}
+
+func (h *poseidonHandle) WriteU64(p Ptr, off uint64, v uint64) error {
+	return h.t.WriteU64(h.decode(p), off, v)
+}
+
+func (h *poseidonHandle) ReadU64(p Ptr, off uint64) (uint64, error) {
+	return h.t.ReadU64(h.decode(p), off)
+}
+
+func (h *poseidonHandle) Persist(p Ptr, off, n uint64) error {
+	return h.t.Flush(h.decode(p), off, n)
+}
+
+func (h *poseidonHandle) Close() { h.t.Close() }

@@ -1,0 +1,254 @@
+// Package alloctest is a conformance test suite run against every
+// allocator in the repository (Poseidon, the PMDK-like baseline and the
+// Makalu-like baseline). It checks the contract the benchmarks rely on:
+// blocks are distinct, data round-trips, freed memory is reusable, and the
+// allocator survives concurrent mixed workloads without handing the same
+// memory to two owners.
+package alloctest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"poseidon/internal/alloc"
+)
+
+// Factory builds a fresh allocator for one subtest.
+type Factory func(t *testing.T) alloc.Allocator
+
+// Run executes the conformance suite against the factory's allocator.
+func Run(t *testing.T, f Factory) {
+	t.Run("AllocFreeRoundTrip", func(t *testing.T) { testRoundTrip(t, f) })
+	t.Run("VariedSizes", func(t *testing.T) { testVariedSizes(t, f) })
+	t.Run("DistinctLivePointers", func(t *testing.T) { testDistinct(t, f) })
+	t.Run("ReuseAfterFree", func(t *testing.T) { testReuse(t, f) })
+	t.Run("DataIntegrityUnderChurn", func(t *testing.T) { testChurn(t, f) })
+	t.Run("ConcurrentStress", func(t *testing.T) { testConcurrent(t, f) })
+}
+
+func handle(t *testing.T, a alloc.Allocator, shard int) alloc.Handle {
+	t.Helper()
+	h, err := a.Thread(shard)
+	if err != nil {
+		t.Fatalf("Thread(%d): %v", shard, err)
+	}
+	return h
+}
+
+func testRoundTrip(t *testing.T, f Factory) {
+	a := f(t)
+	defer a.Close()
+	h := handle(t, a, 0)
+	defer h.Close()
+	p, err := h.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == 0 {
+		t.Fatal("nil pointer returned")
+	}
+	want := []byte("conformance payload 0123456789")
+	if err := h.Write(p, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Persist(p, 0, uint64(len(want))); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := h.Read(p, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q", got)
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testVariedSizes(t *testing.T, f Factory) {
+	a := f(t)
+	defer a.Close()
+	h := handle(t, a, 0)
+	defer h.Close()
+	sizes := []uint64{1, 8, 63, 64, 65, 255, 256, 400, 401, 4096, 64 << 10, 512 << 10, 2 << 20}
+	for _, size := range sizes {
+		p, err := h.Alloc(size)
+		if err != nil {
+			t.Fatalf("Alloc(%d): %v", size, err)
+		}
+		// First and last byte are usable.
+		if err := h.Write(p, 0, []byte{0xAA}); err != nil {
+			t.Fatalf("size %d first byte: %v", size, err)
+		}
+		if err := h.Write(p, size-1, []byte{0xBB}); err != nil {
+			t.Fatalf("size %d last byte: %v", size, err)
+		}
+		if err := h.Free(p); err != nil {
+			t.Fatalf("Free(size %d): %v", size, err)
+		}
+	}
+}
+
+func testDistinct(t *testing.T, f Factory) {
+	a := f(t)
+	defer a.Close()
+	h := handle(t, a, 0)
+	defer h.Close()
+	seen := map[alloc.Ptr]bool{}
+	for i := 0; i < 3000; i++ {
+		p, err := h.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[p] {
+			t.Fatalf("pointer %#x handed out twice while live", p)
+		}
+		seen[p] = true
+	}
+}
+
+func testReuse(t *testing.T, f Factory) {
+	a := f(t)
+	defer a.Close()
+	h := handle(t, a, 0)
+	defer h.Close()
+	const rounds, n = 5, 500
+	for r := 0; r < rounds; r++ {
+		ptrs := make([]alloc.Ptr, 0, n)
+		for i := 0; i < n; i++ {
+			p, err := h.Alloc(256)
+			if err != nil {
+				t.Fatalf("round %d alloc %d: %v", r, i, err)
+			}
+			ptrs = append(ptrs, p)
+		}
+		for _, p := range ptrs {
+			if err := h.Free(p); err != nil {
+				t.Fatalf("round %d: %v", r, err)
+			}
+		}
+	}
+}
+
+func testChurn(t *testing.T, f Factory) {
+	a := f(t)
+	defer a.Close()
+	h := handle(t, a, 0)
+	defer h.Close()
+	rng := rand.New(rand.NewSource(7))
+	type obj struct {
+		p    alloc.Ptr
+		size uint64
+		tag  byte
+	}
+	var live []obj
+	check := func(o obj) {
+		buf := make([]byte, 16)
+		if err := h.Read(o.p, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range buf {
+			if v != o.tag {
+				t.Fatalf("block %#x (tag %d) corrupted: %v — another block overlapped it", o.p, o.tag, buf)
+			}
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		if len(live) > 64 || (len(live) > 0 && rng.Intn(3) == 0) {
+			k := rng.Intn(len(live))
+			check(live[k])
+			if err := h.Free(live[k].p); err != nil {
+				t.Fatal(err)
+			}
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		size := uint64(rng.Intn(2048) + 16)
+		p, err := h.Alloc(size)
+		if errors.Is(err, alloc.ErrOutOfMemory) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := obj{p: p, size: size, tag: byte(i%250 + 1)}
+		if err := h.Write(p, 0, bytes.Repeat([]byte{o.tag}, 16)); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, o)
+	}
+	for _, o := range live {
+		check(o)
+	}
+}
+
+func testConcurrent(t *testing.T, f Factory) {
+	a := f(t)
+	defer a.Close()
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h, err := a.Thread(w)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer h.Close()
+			rng := rand.New(rand.NewSource(int64(w)))
+			tag := byte(w + 1)
+			type obj struct{ p alloc.Ptr }
+			var live []obj
+			for i := 0; i < 500; i++ {
+				if len(live) > 16 || (len(live) > 0 && rng.Intn(3) == 0) {
+					k := rng.Intn(len(live))
+					buf := make([]byte, 8)
+					if err := h.Read(live[k].p, 0, buf); err != nil {
+						errs <- err
+						return
+					}
+					for _, v := range buf {
+						if v != tag {
+							errs <- fmt.Errorf("worker %d: block %#x corrupted (%v) — cross-thread overlap", w, live[k].p, buf)
+							return
+						}
+					}
+					if err := h.Free(live[k].p); err != nil {
+						errs <- err
+						return
+					}
+					live[k] = live[len(live)-1]
+					live = live[:len(live)-1]
+					continue
+				}
+				p, err := h.Alloc(uint64(rng.Intn(1024) + 8))
+				if errors.Is(err, alloc.ErrOutOfMemory) {
+					continue
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := h.Write(p, 0, bytes.Repeat([]byte{tag}, 8)); err != nil {
+					errs <- err
+					return
+				}
+				live = append(live, obj{p: p})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

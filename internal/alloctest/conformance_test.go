@@ -1,0 +1,47 @@
+package alloctest
+
+import (
+	"testing"
+
+	"poseidon/internal/alloc"
+	"poseidon/internal/core"
+	"poseidon/internal/makalu"
+	"poseidon/internal/pmdkalloc"
+)
+
+func TestPoseidonConformance(t *testing.T) {
+	Run(t, func(t *testing.T) alloc.Allocator {
+		a, err := alloc.NewPoseidon(core.Options{
+			Subheaps:        4,
+			SubheapUserSize: 8 << 20,
+			SubheapMetaSize: 2 << 20,
+			UndoLogSize:     64 << 10,
+			MaxThreads:      32,
+			HeapID:          42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	})
+}
+
+func TestPMDKConformance(t *testing.T) {
+	Run(t, func(t *testing.T) alloc.Allocator {
+		a, err := pmdkalloc.New(pmdkalloc.Options{Capacity: 64 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	})
+}
+
+func TestMakaluConformance(t *testing.T) {
+	Run(t, func(t *testing.T) alloc.Allocator {
+		a, err := makalu.New(makalu.Options{Capacity: 64 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	})
+}

@@ -1,0 +1,180 @@
+package benchutil
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"poseidon/internal/alloc"
+)
+
+func TestNewAllocatorAllNames(t *testing.T) {
+	for _, name := range AllocatorNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, err := NewAllocator(name, Config{Threads: 2, HeapBytes: 32 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+			if a.Name() != name {
+				t.Fatalf("Name() = %q", a.Name())
+			}
+			h, err := a.Thread(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Close()
+			p, err := h.Alloc(128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Free(p); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestNewAllocatorUnknown(t *testing.T) {
+	if _, err := NewAllocator("tcmalloc", Config{}); err == nil {
+		t.Fatal("unknown allocator accepted")
+	}
+}
+
+func TestRunParallelAggregatesAndPropagatesErrors(t *testing.T) {
+	a, err := NewAllocator("poseidon", Config{Threads: 4, HeapBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ops, d, err := RunParallel(a, 4, func(w int, h alloc.Handle) (uint64, error) {
+		return uint64(w + 1), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops != 1+2+3+4 {
+		t.Fatalf("ops = %d", ops)
+	}
+	if d <= 0 {
+		t.Fatal("non-positive duration")
+	}
+	boom := errors.New("boom")
+	_, _, err = RunParallel(a, 2, func(w int, h alloc.Handle) (uint64, error) {
+		if w == 1 {
+			return 0, boom
+		}
+		return 1, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMicroWorkerBalancesAllocsAndFrees(t *testing.T) {
+	a, err := NewAllocator("poseidon", Config{Threads: 1, HeapBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	h, err := a.Thread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	const rounds = 5
+	ops, err := MicroWorker(h, MicroConfig{Size: 256, Rounds: rounds, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops != rounds*200 {
+		t.Fatalf("ops = %d, want %d", ops, rounds*200)
+	}
+	// The worker must leave the heap clean: a whole-heap-sized allocation
+	// on the same shard succeeds after defragmentation.
+	pa, ok := a.(*alloc.Poseidon)
+	if !ok {
+		t.Fatal("not poseidon")
+	}
+	st := pa.Heap().Stats()
+	if st.Allocs != st.Frees {
+		t.Fatalf("allocs %d != frees %d — worker leaked", st.Allocs, st.Frees)
+	}
+}
+
+func TestMicroHeapBytes(t *testing.T) {
+	if got := MicroHeapBytes(256, 4); got < 4*100*256 {
+		t.Fatalf("too small: %d", got)
+	}
+	small := MicroHeapBytes(64, 1)
+	if small < 8<<20 {
+		t.Fatalf("floor not applied: %d", small)
+	}
+	if MicroHeapBytes(512<<10, 8) <= MicroHeapBytes(512<<10, 1) {
+		t.Fatal("heap must grow with threads")
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	var fig Figure
+	fig.Title = "test figure"
+	fig.Add("a", 1, 1_000_000, time.Second)
+	fig.Add("a", 2, 4_000_000, time.Second)
+	fig.Add("b", 1, 2_000_000, time.Second)
+	var buf bytes.Buffer
+	fig.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"test figure", "threads", "a", "b", "1.000", "4.000", "2.000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Missing cells render blank, not zero.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "2") {
+		t.Fatalf("last row %q", last)
+	}
+}
+
+func TestThreadSweep(t *testing.T) {
+	if got := ThreadSweep(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("sweep(0) = %v", got)
+	}
+	got := ThreadSweep(16)
+	want := []int{1, 2, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("sweep(16) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep(16) = %v", got)
+		}
+	}
+}
+
+func TestContentionReportAllAllocators(t *testing.T) {
+	for _, name := range AllocatorNames {
+		a, err := NewAllocator(name, Config{Threads: 1, HeapBytes: 32 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := a.Thread(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := MicroWorker(h, MicroConfig{Size: 256, Rounds: 2, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		ContentionReport(&buf, a, 400)
+		if !strings.Contains(buf.String(), "global-lock acquisitions/op") {
+			t.Fatalf("%s report: %q", name, buf.String())
+		}
+		h.Close()
+		_ = a.Close()
+	}
+}

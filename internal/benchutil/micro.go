@@ -1,0 +1,67 @@
+package benchutil
+
+import (
+	"math/rand"
+
+	"poseidon/internal/alloc"
+)
+
+// MicroConfig parameterises the Figure 6 microbenchmark: pairs of 100
+// allocations and 100 frees in random order, per thread, with a fixed
+// allocation size and no inter-thread frees (the paper's ideal-maximum
+// setup, §7.2).
+type MicroConfig struct {
+	Size   uint64
+	Rounds int // each round is 100 allocs + 100 frees
+	Seed   int64
+}
+
+// MicroWorker runs the microbenchmark loop on one handle and returns the
+// number of alloc/free operations performed.
+func MicroWorker(h alloc.Handle, cfg MicroConfig) (uint64, error) {
+	const window = 100
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	slots := make([]alloc.Ptr, 0, window)
+	ops := uint64(0)
+	for r := 0; r < cfg.Rounds; r++ {
+		allocs, frees := window, window
+		for allocs > 0 || frees > 0 {
+			doAlloc := allocs > 0 && (len(slots) == 0 || frees == 0 || rng.Intn(2) == 0)
+			if doAlloc {
+				p, err := h.Alloc(cfg.Size)
+				if err != nil {
+					return ops, err
+				}
+				slots = append(slots, p)
+				allocs--
+				ops++
+			} else {
+				k := rng.Intn(len(slots))
+				if err := h.Free(slots[k]); err != nil {
+					return ops, err
+				}
+				slots[k] = slots[len(slots)-1]
+				slots = slots[:len(slots)-1]
+				frees--
+				ops++
+			}
+		}
+	}
+	// Leave the heap clean for the next measurement.
+	for _, p := range slots {
+		if err := h.Free(p); err != nil {
+			return ops, err
+		}
+	}
+	return ops, nil
+}
+
+// MicroHeapBytes sizes the heap for a Figure 6 configuration: 100 live
+// blocks per thread at the given size, with generous headroom.
+func MicroHeapBytes(size uint64, threads int) uint64 {
+	per := 4 * 100 * size
+	if per < 8<<20 {
+		per = 8 << 20
+	}
+	return per * uint64(threads)
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"poseidon/internal/memblock"
+)
+
+// CheckReport is the result of a full heap consistency audit.
+type CheckReport struct {
+	Subheaps        int
+	Formatted       int
+	AllocatedBlocks uint64
+	FreeBlocks      uint64
+	PendingUndo     uint64 // committed undo entries awaiting replay
+	PendingTx       uint64 // micro-log entries of open transactions
+	Problems        []string
+}
+
+// OK reports whether the audit found no structural problems. Pending logs
+// are not problems — they mean recovery has work to do, which Load
+// performs — but they are surfaced in the report.
+func (r CheckReport) OK() bool { return len(r.Problems) == 0 }
+
+// Check audits the whole heap: every formatted sub-heap's blocks must tile
+// its user region exactly (no gaps, no overlaps, power-of-two sizes,
+// size-aligned offsets), free lists and the hash table must agree, and log
+// headers must be sane. It is the engine of cmd/poseidon-fsck and the
+// invariant oracle of the crash-injection tests.
+func (h *Heap) Check() (CheckReport, error) {
+	report := CheckReport{Subheaps: len(h.subheaps)}
+	for _, s := range h.subheaps {
+		if err := s.check(&report); err != nil {
+			return report, err
+		}
+	}
+	// Micro-log lanes.
+	h.grant(h.sbThread)
+	defer h.revoke(h.sbThread)
+	for i := 0; i < h.lay.laneCount; i++ {
+		count, err := h.sbWin.ReadU64(h.lay.laneBase(i))
+		if err != nil {
+			return report, err
+		}
+		maxEntries := (h.lay.laneSize - 64) / 16
+		if count > maxEntries {
+			report.Problems = append(report.Problems,
+				fmt.Sprintf("micro lane %d: corrupt count %d", i, count))
+			continue
+		}
+		report.PendingTx += count
+	}
+	return report, nil
+}
+
+func (s *subheap) check(report *CheckReport) error {
+	s.mu.Lock()
+	s.h.grant(s.thread)
+	defer func() {
+		s.h.revoke(s.thread)
+		s.mu.Unlock()
+	}()
+	init, err := s.initializedFlag()
+	if err != nil {
+		return err
+	}
+	if !init {
+		return nil
+	}
+	report.Formatted++
+	if err := s.ensureReady(); err != nil {
+		return err
+	}
+	report.PendingUndo += s.undo.Count()
+	g := s.mgr.Geometry()
+	problem := func(format string, args ...any) {
+		report.Problems = append(report.Problems,
+			fmt.Sprintf("sub-heap %d: ", s.id)+fmt.Sprintf(format, args...))
+	}
+
+	type blk struct{ off, size, status uint64 }
+	var blocks []blk
+	err = s.mgr.ForEachRecord(s.win, func(rec memblock.Record) error {
+		blocks = append(blocks, blk{rec.BlockOff, rec.Size, rec.Status})
+		switch {
+		case rec.BlockOff < g.UserBase || rec.BlockOff+rec.Size > g.UserBase+g.UserSize:
+			problem("block [%#x,%#x) outside user region", rec.BlockOff, rec.BlockOff+rec.Size)
+		case rec.Size < g.ClassSize(0) || rec.Size&(rec.Size-1) != 0:
+			problem("block %#x has non-class size %d", rec.BlockOff, rec.Size)
+		case (rec.BlockOff-g.UserBase)%rec.Size != 0:
+			problem("block %#x not aligned to its size %d", rec.BlockOff, rec.Size)
+		}
+		switch rec.Status {
+		case memblock.StatusAllocated:
+			report.AllocatedBlocks++
+		case memblock.StatusFree:
+			report.FreeBlocks++
+		default:
+			problem("block %#x has status %d", rec.BlockOff, rec.Status)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Exact tiling of the user region.
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].off < blocks[j].off })
+	at := g.UserBase
+	for _, b := range blocks {
+		switch {
+		case b.off > at:
+			problem("gap [%#x,%#x) not covered by any block", at, b.off)
+			at = b.off + b.size
+		case b.off < at:
+			problem("block %#x overlaps previous block ending at %#x", b.off, at)
+			if b.off+b.size > at {
+				at = b.off + b.size
+			}
+		default:
+			at += b.size
+		}
+	}
+	if at != g.UserBase+g.UserSize {
+		problem("blocks cover up to %#x, region ends at %#x", at, g.UserBase+g.UserSize)
+	}
+
+	// Free lists ↔ records agreement.
+	listed := map[uint64]int{}
+	for c := 0; c < g.NumClasses; c++ {
+		head, err := s.mgr.FreeHead(s.win, c)
+		if err != nil {
+			return err
+		}
+		steps := uint64(0)
+		for slot := head; slot != 0; {
+			rec, err := s.mgr.ReadRecord(s.win, slot)
+			if err != nil {
+				return err
+			}
+			if rec.Status != memblock.StatusFree {
+				problem("class %d free list holds non-free block %#x", c, rec.BlockOff)
+			}
+			if rec.Size != g.ClassSize(c) {
+				problem("class %d free list holds %d-byte block %#x", c, rec.Size, rec.BlockOff)
+			}
+			listed[rec.BlockOff]++
+			slot = rec.NextFree
+			if steps++; steps > g.TotalSlots() {
+				problem("class %d free list is cyclic", c)
+				break
+			}
+		}
+	}
+	for _, b := range blocks {
+		if b.status == memblock.StatusFree && listed[b.off] != 1 {
+			problem("free block %#x appears %d times on free lists", b.off, listed[b.off])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"poseidon/internal/nvm"
+)
+
+// TestCrashInjection is the adversarial crash-consistency property test:
+// run a random allocation/free/transaction trace, kill the device after a
+// random number of stores (hitting every interior persist point of an
+// operation), crash with random cacheline eviction, recover, and audit.
+//
+// The contract after recovery:
+//   - heap invariants hold (no overlap, exact tiling, consistent lists);
+//   - every operation that returned success before the failure is durable
+//     (allocated blocks free exactly once; freed blocks double-free);
+//   - the operation in flight at the failure may have gone either way, but
+//     never partially;
+//   - allocations of the uncommitted transaction are rolled back.
+func TestCrashInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash injection is slow")
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			runCrashTrace(t, seed)
+		})
+	}
+}
+
+func runCrashTrace(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	opts := Options{
+		Subheaps:        2,
+		SubheapUserSize: 256 << 10,
+		SubheapMetaSize: 256 << 10,
+		UndoLogSize:     64 << 10,
+		MaxThreads:      4,
+		HeapID:          uint64(seed) + 1,
+		CrashTracking:   true,
+	}
+	h, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := h.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Confirmed state (ops that returned before the device died).
+	allocated := map[NVMPtr]bool{}
+	var txOpen []NVMPtr // uncommitted transactional allocations
+	unknown := map[NVMPtr]bool{}
+
+	// Arm the failpoint after a random prefix of stores.
+	h.Device().FailAfter(int64(rng.Intn(3000) + 10))
+
+	var ptrs []NVMPtr
+	dead := false
+	for step := 0; step < 400 && !dead; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // alloc
+			size := uint64(rng.Intn(2000) + 1)
+			p, err := th.Alloc(size)
+			switch {
+			case err == nil:
+				allocated[p] = true
+				ptrs = append(ptrs, p)
+			case errors.Is(err, nvm.ErrDeviceFailed):
+				dead = true
+			case errors.Is(err, ErrOutOfMemory):
+			default:
+				t.Fatalf("seed %d step %d: alloc: %v", seed, step, err)
+			}
+		case op < 8: // free
+			if len(ptrs) == 0 {
+				continue
+			}
+			k := rng.Intn(len(ptrs))
+			p := ptrs[k]
+			if !allocated[p] {
+				continue
+			}
+			err := th.Free(p)
+			switch {
+			case err == nil:
+				delete(allocated, p)
+				ptrs[k] = ptrs[len(ptrs)-1]
+				ptrs = ptrs[:len(ptrs)-1]
+			case errors.Is(err, nvm.ErrDeviceFailed):
+				// Outcome unknown: may or may not have freed.
+				unknown[p] = true
+				delete(allocated, p)
+				dead = true
+			default:
+				t.Fatalf("seed %d step %d: free: %v", seed, step, err)
+			}
+		default: // transactional allocation burst
+			n := rng.Intn(3) + 1
+			commit := rng.Intn(2) == 0
+			for i := 0; i < n && !dead; i++ {
+				isEnd := commit && i == n-1
+				p, err := th.TxAlloc(uint64(rng.Intn(500)+1), isEnd)
+				switch {
+				case err == nil:
+					if isEnd {
+						// Commit makes the whole burst durable.
+						for _, q := range txOpen {
+							allocated[q] = true
+							ptrs = append(ptrs, q)
+						}
+						txOpen = txOpen[:0]
+						allocated[p] = true
+						ptrs = append(ptrs, p)
+					} else {
+						txOpen = append(txOpen, p)
+					}
+				case errors.Is(err, nvm.ErrDeviceFailed):
+					for _, q := range txOpen {
+						unknown[q] = true
+					}
+					txOpen = txOpen[:0]
+					dead = true
+				case errors.Is(err, ErrOutOfMemory) || errors.Is(err, ErrTxTooLarge):
+				default:
+					t.Fatalf("seed %d step %d: txalloc: %v", seed, step, err)
+				}
+			}
+			if !commit {
+				// Abandoned (uncommitted) transaction: stays open until the
+				// crash; recovery must roll it back. Mark as rollback
+				// candidates, not as allocated.
+				for _, q := range txOpen {
+					unknown[q] = true // rolled back at recovery; free may race
+				}
+				txOpen = txOpen[:0]
+			}
+		}
+	}
+
+	// Power failure with adversarial eviction, then restart.
+	if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: seed * 977}); err != nil {
+		t.Fatal(err)
+	}
+	h.Device().DisarmFailpoint()
+	_ = h.Close()
+	h2, err := Load(h.Device(), opts)
+	if err != nil {
+		t.Fatalf("seed %d: recovery failed: %v", seed, err)
+	}
+	auditHeap(t, h2)
+
+	th2, err := h2.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th2.Close()
+	// Confirmed-allocated blocks must free exactly once.
+	for p := range allocated {
+		if unknown[p] {
+			continue
+		}
+		if err := th2.Free(p); err != nil {
+			t.Fatalf("seed %d: confirmed block %v lost after crash: %v", seed, p, err)
+		}
+	}
+	auditHeap(t, h2)
+
+	// A second crash+recovery must be a no-op on consistency.
+	if err := h2.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+		t.Fatal(err)
+	}
+	_ = h2.Close()
+	h3, err := Load(h2.Device(), opts)
+	if err != nil {
+		t.Fatalf("seed %d: second recovery failed: %v", seed, err)
+	}
+	auditHeap(t, h3)
+}

@@ -1,0 +1,33 @@
+package core
+
+import "errors"
+
+// Errors returned by the allocator API. Invalid and double frees are
+// detected by the memory-block hash table and rejected instead of
+// corrupting metadata (paper §4.4, §5.5).
+var (
+	// ErrOutOfMemory means no free block could satisfy the request even
+	// after defragmentation.
+	ErrOutOfMemory = errors.New("poseidon: out of memory")
+	// ErrInvalidFree reports a free of an address that is not the start of
+	// an allocated block of this heap. The free is ignored.
+	ErrInvalidFree = errors.New("poseidon: invalid free rejected")
+	// ErrDoubleFree reports a free of a block that is already free. The
+	// free is ignored.
+	ErrDoubleFree = errors.New("poseidon: double free rejected")
+	// ErrBadPointer reports a persistent pointer that does not belong to
+	// this heap (wrong heap ID, sub-heap, or offset out of range).
+	ErrBadPointer = errors.New("poseidon: bad persistent pointer")
+	// ErrBadSize reports an unsatisfiable allocation size.
+	ErrBadSize = errors.New("poseidon: allocation size out of range")
+	// ErrCorruptHeap reports an unloadable or inconsistent heap image.
+	ErrCorruptHeap = errors.New("poseidon: corrupt heap")
+	// ErrClosed reports use of a closed heap or thread.
+	ErrClosed = errors.New("poseidon: heap is closed")
+	// ErrNoThreads means the micro-log lane pool is exhausted; raise
+	// Options.MaxThreads.
+	ErrNoThreads = errors.New("poseidon: too many concurrent threads")
+	// ErrTxTooLarge means one transactional allocation sequence overflowed
+	// its micro-log lane; raise Options.MicroLogLaneSize.
+	ErrTxTooLarge = errors.New("poseidon: transaction exceeds micro log capacity")
+)

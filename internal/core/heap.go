@@ -1,0 +1,488 @@
+// Package core implements the Poseidon persistent memory allocator:
+// per-CPU sub-heaps for scalability, fully segregated metadata guarded by
+// (modeled) Intel MPK, a multi-level hash table of memory-block records for
+// constant-time safety checks, and undo/micro logging for crash consistency.
+//
+// The exported facade for applications is the module-root package poseidon;
+// this package holds the implementation and is exercised directly by the
+// benchmarks and baselines.
+package core
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"poseidon/internal/mpk"
+	"poseidon/internal/nvm"
+	"poseidon/internal/plog"
+	"poseidon/internal/txn"
+)
+
+// Heap is a Poseidon persistent heap on one NVMM device.
+type Heap struct {
+	dev  *nvm.Device
+	unit *mpk.Unit
+	lay  layout
+	opts Options
+
+	heapID uint64
+
+	// authority is non-nil under ProtectMPKHardened: the unit is sealed
+	// and only these grant/revoke paths can switch permissions.
+	authority *mpk.Authority
+
+	sbMu     sync.Mutex // guards superblock metadata (root pointer)
+	sbThread *mpk.Thread
+	sbWin    mpk.Window
+	sbUndo   *plog.UndoLog
+	sbBatch  *txn.Batch
+
+	subheaps []*subheap
+
+	laneMu    sync.Mutex
+	freeLanes []int
+	nextShard atomic.Uint32
+
+	// rawAttach marks a heap opened by Attach: no recovery has run, so
+	// lazy sub-heap opening must not replay logs either (fsck -raw needs
+	// the untouched post-crash image).
+	rawAttach bool
+
+	closed bool
+	mu     sync.Mutex // guards closed
+}
+
+// Create formats a new heap on a fresh device.
+func Create(opts Options) (*Heap, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	lay, err := computeLayout(opts.Subheaps, opts.SubheapUserSize, opts.SubheapMetaSize,
+		opts.UndoLogSize, opts.MaxThreads, opts.MicroLogLaneSize)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := nvm.NewDevice(nvm.Options{
+		Capacity:      lay.capacity,
+		CrashTracking: opts.CrashTracking,
+		Stats:         opts.DeviceStats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h, err := assemble(dev, lay, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.format(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Load attaches to an existing heap image on dev (e.g. after nvm.LoadFile,
+// or in-process after a simulated crash) and runs crash recovery.
+func Load(dev *nvm.Device, opts Options) (*Heap, error) {
+	opts = opts.withDefaults()
+	lay, err := readLayout(dev)
+	if err != nil {
+		return nil, err
+	}
+	h, err := assemble(dev, lay, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.recover(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Attach wires a heap over an existing image WITHOUT running recovery —
+// the raw post-crash view poseidon-fsck -raw audits. Allocator operations
+// on an un-recovered heap are unsafe; use Load for normal operation.
+func Attach(dev *nvm.Device, opts Options) (*Heap, error) {
+	opts = opts.withDefaults()
+	lay, err := readLayout(dev)
+	if err != nil {
+		return nil, err
+	}
+	h, err := assemble(dev, lay, opts)
+	if err != nil {
+		return nil, err
+	}
+	h.rawAttach = true
+	h.heapID, err = dev.ReadU64(sbHeapIDOff)
+	if err != nil {
+		return nil, err
+	}
+	h.grant(h.sbThread)
+	h.sbUndo, err = plog.OpenUndoLog(h.sbWin, sbUndoOff, sbUndoSize)
+	h.revoke(h.sbThread)
+	if err != nil {
+		return nil, fmt.Errorf("%w: superblock log: %v", ErrCorruptHeap, err)
+	}
+	h.sbBatch = txn.NewBatch(h.sbWin, h.sbUndo)
+	return h, nil
+}
+
+// assemble wires the in-DRAM structures over a device (no persistent
+// mutations). MPK tagging is (re)applied here: key assignments live in page
+// tables, which do not survive a restart.
+func assemble(dev *nvm.Device, lay layout, opts Options) (*Heap, error) {
+	unit := mpk.NewUnit(dev.Capacity())
+	switch opts.Protection {
+	case ProtectMprotect:
+		unit.SetSwitchCost(opts.MprotectCost)
+	case ProtectMPK, ProtectNone:
+		// MPK switch cost is ~23 cycles — below the resolution the Go
+		// model can meaningfully spin, so it is charged as zero and
+		// counted; ProtectNone performs no switches at all.
+	}
+	// Tag the superblock region and each sub-heap's metadata region.
+	if err := unit.AssignRange(0, lay.subheapOff, metadataKey); err != nil {
+		return nil, err
+	}
+	for i := 0; i < lay.subheaps; i++ {
+		if err := unit.AssignRange(lay.subheapBase(i), lay.metaSize, metadataKey); err != nil {
+			return nil, err
+		}
+	}
+	h := &Heap{dev: dev, unit: unit, lay: lay, opts: opts}
+	h.sbThread = unit.NewThread(defaultRights(opts))
+	h.sbWin = mpk.NewWindow(dev, h.sbThread)
+
+	h.freeLanes = make([]int, 0, lay.laneCount)
+	for i := lay.laneCount - 1; i >= 0; i-- {
+		h.freeLanes = append(h.freeLanes, i)
+	}
+	h.subheaps = make([]*subheap, lay.subheaps)
+	for i := range h.subheaps {
+		s, err := newSubheap(h, i)
+		if err != nil {
+			return nil, err
+		}
+		h.subheaps[i] = s
+	}
+	if opts.Protection == ProtectMPKHardened {
+		authority, err := unit.Seal()
+		if err != nil {
+			return nil, err
+		}
+		h.authority = authority
+	}
+	return h, nil
+}
+
+// defaultRights is the PKRU every thread starts with: metadata read-only
+// under MPK/mprotect, fully open when protection is disabled.
+func defaultRights(opts Options) mpk.Rights {
+	if opts.Protection == ProtectNone {
+		return mpk.RightsRW
+	}
+	return mpk.RightsRO
+}
+
+// grant temporarily opens the metadata region for t; revoke closes it.
+// Under ProtectNone both are free no-ops (the ablation baseline); under
+// ProtectMPKHardened they are the only vetted WRPKRU call sites.
+func (h *Heap) grant(t *mpk.Thread) {
+	switch {
+	case h.authority != nil:
+		h.authority.SetRights(t, metadataKey, mpk.RightsRW)
+	case h.opts.Protection != ProtectNone:
+		t.SetRights(metadataKey, mpk.RightsRW)
+	}
+}
+
+func (h *Heap) revoke(t *mpk.Thread) {
+	switch {
+	case h.authority != nil:
+		h.authority.SetRights(t, metadataKey, mpk.RightsRO)
+	case h.opts.Protection != ProtectNone:
+		t.SetRights(metadataKey, mpk.RightsRO)
+	}
+}
+
+// format writes the initial persistent image.
+func (h *Heap) format() error {
+	heapID := h.opts.HeapID
+	if heapID == 0 {
+		var buf [8]byte
+		if _, err := rand.Read(buf[:]); err != nil {
+			return fmt.Errorf("poseidon: heap id: %w", err)
+		}
+		heapID = binary.LittleEndian.Uint64(buf[:]) | 1 // never zero
+	}
+	h.heapID = heapID
+
+	h.grant(h.sbThread)
+	defer h.revoke(h.sbThread)
+	w := h.sbWin
+	fields := []struct {
+		off uint64
+		val uint64
+	}{
+		{sbMagicOff, heapMagic},
+		{sbVersionOff, heapVersion},
+		{sbHeapIDOff, heapID},
+		{sbSubheapsOff, uint64(h.lay.subheaps)},
+		{sbUserSizeOff, h.lay.userSize},
+		{sbMetaSizeOff, h.lay.metaSize},
+		{sbRootLocOff, 0},
+		{sbLaneCountOff, uint64(h.lay.laneCount)},
+		{sbLaneSizeOff, h.lay.laneSize},
+		{sbUndoSizeOff, h.lay.undoSize},
+	}
+	for _, f := range fields {
+		if err := w.WriteU64(f.off, f.val); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(0, sbInitializedOff); err != nil {
+		return err
+	}
+	w.Fence()
+	// The initialized word is the creation commit point.
+	if err := w.PersistU64(sbInitializedOff, 1); err != nil {
+		return err
+	}
+	var err error
+	h.sbUndo, err = plog.OpenUndoLog(w, sbUndoOff, sbUndoSize)
+	if err != nil {
+		return err
+	}
+	h.sbBatch = txn.NewBatch(w, h.sbUndo)
+	return nil
+}
+
+// readLayout validates the superblock of an existing image and rebuilds the
+// layout from it.
+func readLayout(dev *nvm.Device) (layout, error) {
+	read := func(off uint64) uint64 {
+		v, _ := dev.ReadU64(off)
+		return v
+	}
+	if read(sbMagicOff) != heapMagic {
+		return layout{}, fmt.Errorf("%w: bad magic", ErrCorruptHeap)
+	}
+	if v := read(sbVersionOff); v != heapVersion {
+		return layout{}, fmt.Errorf("%w: version %d (want %d)", ErrCorruptHeap, v, heapVersion)
+	}
+	if read(sbInitializedOff) != 1 {
+		return layout{}, fmt.Errorf("%w: creation never completed", ErrCorruptHeap)
+	}
+	lay, err := computeLayout(
+		int(read(sbSubheapsOff)), read(sbUserSizeOff), read(sbMetaSizeOff),
+		read(sbUndoSizeOff), int(read(sbLaneCountOff)), read(sbLaneSizeOff))
+	if err != nil {
+		return layout{}, fmt.Errorf("%w: %v", ErrCorruptHeap, err)
+	}
+	if lay.capacity > dev.Capacity() {
+		return layout{}, fmt.Errorf("%w: image needs %d bytes, device has %d",
+			ErrCorruptHeap, lay.capacity, dev.Capacity())
+	}
+	return lay, nil
+}
+
+// recover replays all logs after a restart (paper §5.1, §5.8): first the
+// superblock and sub-heap undo logs restore metadata consistency, then the
+// micro-log lanes roll back uncommitted transactional allocations.
+func (h *Heap) recover() error {
+	v, err := h.dev.ReadU64(sbHeapIDOff)
+	if err != nil {
+		return err
+	}
+	h.heapID = v
+
+	h.grant(h.sbThread)
+	h.sbUndo, err = plog.OpenUndoLog(h.sbWin, sbUndoOff, sbUndoSize)
+	if err == nil {
+		err = h.sbUndo.Replay()
+	}
+	h.revoke(h.sbThread)
+	if err != nil {
+		return fmt.Errorf("%w: superblock log: %v", ErrCorruptHeap, err)
+	}
+	h.sbBatch = txn.NewBatch(h.sbWin, h.sbUndo)
+
+	for _, s := range h.subheaps {
+		if err := s.recoverLogs(); err != nil {
+			return fmt.Errorf("%w: sub-heap %d: %v", ErrCorruptHeap, s.id, err)
+		}
+	}
+
+	// Roll back uncommitted transactions. Undo replay may already have
+	// reverted a logged allocation, in which case the free is rejected by
+	// the hash-table check — exactly the idempotency §5.8 relies on.
+	for i := 0; i < h.lay.laneCount; i++ {
+		if err := h.recoverLane(i); err != nil {
+			return fmt.Errorf("%w: micro lane %d: %v", ErrCorruptHeap, i, err)
+		}
+	}
+	return nil
+}
+
+// recoverLane frees every allocation logged in lane i and truncates it.
+func (h *Heap) recoverLane(i int) error {
+	h.grant(h.sbThread)
+	lane, err := plog.OpenMicroLog(h.sbWin, h.lay.laneBase(i), h.lay.laneSize)
+	if err != nil {
+		h.revoke(h.sbThread)
+		return err
+	}
+	if lane.IsEmpty() {
+		h.revoke(h.sbThread)
+		return nil
+	}
+	entries, err := lane.Entries()
+	h.revoke(h.sbThread)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		sub := uint16(e.Offset >> subheapShift)
+		off := e.Offset & offsetMask
+		dev, err := h.lay.locToDevice(sub, off)
+		if err != nil {
+			continue // stale entry pointing nowhere valid; skip
+		}
+		s := h.subheaps[sub]
+		if err := s.free(dev); err != nil {
+			// Invalid/double frees here mean the undo log already
+			// reverted this allocation; anything else is fatal.
+			if err == ErrInvalidFree || err == ErrDoubleFree {
+				s.stats.recoveredNoops.Add(1)
+				continue
+			}
+			return err
+		}
+		s.stats.recoveredBlocks.Add(1)
+	}
+	h.grant(h.sbThread)
+	err = lane.Truncate()
+	h.revoke(h.sbThread)
+	return err
+}
+
+// HeapID returns the heap's persistent identity.
+func (h *Heap) HeapID() uint64 { return h.heapID }
+
+// Device exposes the underlying device (benchmarks, inspection, crash
+// simulation).
+func (h *Heap) Device() *nvm.Device { return h.dev }
+
+// Unit exposes the protection unit (inspection and demos).
+func (h *Heap) Unit() *mpk.Unit { return h.unit }
+
+// Subheaps returns the number of sub-heaps.
+func (h *Heap) Subheaps() int { return h.lay.subheaps }
+
+// Root returns the root pointer (paper §4.6), or the null pointer if unset.
+func (h *Heap) Root() (NVMPtr, error) {
+	h.sbMu.Lock()
+	defer h.sbMu.Unlock()
+	set, err := h.sbWin.ReadU64(sbRootSetOff)
+	if err != nil {
+		return NVMPtr{}, err
+	}
+	if set == 0 {
+		return NVMPtr{}, nil
+	}
+	loc, err := h.sbWin.ReadU64(sbRootLocOff)
+	if err != nil {
+		return NVMPtr{}, err
+	}
+	return ptrFromWords(h.heapID, loc), nil
+}
+
+// SetRoot durably stores the root pointer. The location and validity words
+// update failure-atomically under the superblock undo log.
+func (h *Heap) SetRoot(p NVMPtr) error {
+	if !p.IsNull() && p.HeapID != h.heapID {
+		return fmt.Errorf("%w: root from heap %#x", ErrBadPointer, p.HeapID)
+	}
+	h.sbMu.Lock()
+	defer h.sbMu.Unlock()
+	h.grant(h.sbThread)
+	defer h.revoke(h.sbThread)
+	var set uint64
+	if !p.IsNull() {
+		set = 1
+	}
+	b := h.sbBatch
+	if err := b.WriteU64(sbRootLocOff, p.Loc()); err != nil {
+		b.Abort()
+		return err
+	}
+	if err := b.WriteU64(sbRootSetOff, set); err != nil {
+		b.Abort()
+		return err
+	}
+	if err := b.Commit(); err != nil {
+		b.Abort()
+		if rerr := h.sbUndo.Replay(); rerr != nil {
+			return fmt.Errorf("poseidon: rollback after failed root update: %w", rerr)
+		}
+		return err
+	}
+	return nil
+}
+
+// RawOffset translates a persistent pointer to its device offset — the
+// analogue of poseidon_get_rawptr (§4.6).
+func (h *Heap) RawOffset(p NVMPtr) (uint64, error) {
+	if p.IsNull() || p.HeapID != h.heapID {
+		return 0, fmt.Errorf("%w: %v", ErrBadPointer, p)
+	}
+	return h.lay.locToDevice(p.Subheap(), p.Offset())
+}
+
+// PtrAt translates a user-region device offset back to a persistent
+// pointer — the analogue of poseidon_get_nvmptr (§4.6).
+func (h *Heap) PtrAt(deviceOff uint64) (NVMPtr, error) {
+	sub, off, err := h.lay.deviceToLoc(deviceOff)
+	if err != nil {
+		return NVMPtr{}, err
+	}
+	return makePtr(h.heapID, sub, off), nil
+}
+
+// SaveFile persists the heap image to path (atomic rename).
+func (h *Heap) SaveFile(path string) error { return h.dev.SaveFile(path) }
+
+// Close marks the heap unusable. It does not save; call SaveFile first if
+// durability across process restarts is wanted.
+func (h *Heap) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	return nil
+}
+
+func (h *Heap) isClosed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.closed
+}
+
+// Stats aggregates per-sub-heap counters.
+func (h *Heap) Stats() HeapStats {
+	var out HeapStats
+	for _, s := range h.subheaps {
+		out.Allocs += s.stats.allocs.Load()
+		out.Frees += s.stats.frees.Load()
+		out.TxAllocs += s.stats.txAllocs.Load()
+		out.DefragMerges += s.stats.defragMerges.Load()
+		out.InvalidFrees += s.stats.invalidFrees.Load()
+		out.DoubleFrees += s.stats.doubleFrees.Load()
+		out.RecoveredBlocks += s.stats.recoveredBlocks.Load()
+		out.RecoveredNoops += s.stats.recoveredNoops.Load()
+	}
+	out.PermissionSwitches = h.unit.Switches()
+	return out
+}

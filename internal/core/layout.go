@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+
+	"poseidon/internal/memblock"
+	"poseidon/internal/nvm"
+)
+
+// Persistent heap layout (paper Figure 4):
+//
+//	superblock region (MPK-protected)
+//	  +0        superblock header (one page)
+//	  +4 KiB    superblock undo log (root-pointer updates)
+//	  +64 KiB   micro-log lane arena: MaxThreads lanes, one per Thread
+//	sub-heap 0
+//	  +0        sub-heap header (one page)
+//	  +4 KiB    undo log
+//	  +4K+undo  memory-block metadata (free lists + multi-level hash table)
+//	  +metaSize user-data region (MPK key 0, freely writable)
+//	sub-heap 1 …
+//
+// Everything before each sub-heap's user region carries the metadata
+// protection key; user regions carry key 0.
+
+// Superblock header field offsets.
+const (
+	sbMagicOff       = 0
+	sbVersionOff     = 8
+	sbHeapIDOff      = 16
+	sbSubheapsOff    = 24
+	sbUserSizeOff    = 32
+	sbMetaSizeOff    = 40
+	sbRootLocOff     = 48
+	sbLaneCountOff   = 56
+	sbLaneSizeOff    = 64
+	sbUndoSizeOff    = 72
+	sbInitializedOff = 80
+	sbRootSetOff     = 88
+
+	sbHeaderPages = 1
+	sbUndoOff     = sbHeaderPages * nvm.PageSize
+	sbUndoSize    = 60 << 10
+	sbLaneArena   = 64 << 10
+
+	heapMagic   uint64 = 0x4e4f444945534f50 // "POSEIDON" little endian
+	heapVersion uint64 = 1
+
+	// Sub-heap header field offsets (relative to the sub-heap base).
+	shInitializedOff = 0
+	shHeaderSize     = nvm.PageSize
+)
+
+// metadataKey is the MPK protection key guarding all heap metadata.
+const metadataKey = 1
+
+// layout holds the computed device geometry.
+type layout struct {
+	subheaps   int
+	userSize   uint64
+	metaSize   uint64
+	undoSize   uint64
+	laneCount  int
+	laneSize   uint64
+	subheapOff uint64 // device offset of sub-heap 0
+	stride     uint64 // metaSize + userSize
+	capacity   uint64
+}
+
+func computeLayout(subheaps int, userSize, metaSize, undoSize uint64, laneCount int, laneSize uint64) (layout, error) {
+	arena := uint64(laneCount) * laneSize
+	subOff := (sbLaneArena + arena + nvm.PageSize - 1) &^ (nvm.PageSize - 1)
+	l := layout{
+		subheaps:   subheaps,
+		userSize:   userSize,
+		metaSize:   metaSize,
+		undoSize:   undoSize,
+		laneCount:  laneCount,
+		laneSize:   laneSize,
+		subheapOff: subOff,
+		stride:     metaSize + userSize,
+	}
+	l.capacity = l.subheapOff + uint64(subheaps)*l.stride
+	// Validate that the memblock geometry fits the metadata region.
+	if _, err := l.memblockGeometry(0); err != nil {
+		return layout{}, err
+	}
+	return l, nil
+}
+
+// subheapBase returns the device offset of sub-heap i.
+func (l layout) subheapBase(i int) uint64 {
+	return l.subheapOff + uint64(i)*l.stride
+}
+
+// userBase returns the device offset of sub-heap i's user region.
+func (l layout) userBase(i int) uint64 {
+	return l.subheapBase(i) + l.metaSize
+}
+
+// undoBase returns the device offset of sub-heap i's undo log.
+func (l layout) undoBase(i int) uint64 {
+	return l.subheapBase(i) + shHeaderSize
+}
+
+// laneBase returns the device offset of micro-log lane i.
+func (l layout) laneBase(i int) uint64 {
+	return sbLaneArena + uint64(i)*l.laneSize
+}
+
+// memblockGeometry computes sub-heap i's metadata layout.
+func (l layout) memblockGeometry(i int) (memblock.Geometry, error) {
+	base := l.subheapBase(i)
+	metaBase := base + shHeaderSize + l.undoSize
+	metaAvail := l.metaSize - shHeaderSize - l.undoSize
+	g, err := memblock.ComputeGeometry(metaBase, metaAvail, l.userBase(i), l.userSize)
+	if err != nil {
+		return g, fmt.Errorf("sub-heap metadata region: %w", err)
+	}
+	return g, nil
+}
+
+// locToDevice translates a persistent-pointer location to a device offset.
+func (l layout) locToDevice(sub uint16, off uint64) (uint64, error) {
+	if int(sub) >= l.subheaps || off >= l.userSize {
+		return 0, fmt.Errorf("%w: sub=%d off=%#x", ErrBadPointer, sub, off)
+	}
+	return l.userBase(int(sub)) + off, nil
+}
+
+// deviceToLoc translates a device offset in a user region back to pointer
+// parts.
+func (l layout) deviceToLoc(dev uint64) (uint16, uint64, error) {
+	if dev < l.subheapOff {
+		return 0, 0, fmt.Errorf("%w: device offset %#x before sub-heaps", ErrBadPointer, dev)
+	}
+	i := (dev - l.subheapOff) / l.stride
+	if i >= uint64(l.subheaps) {
+		return 0, 0, fmt.Errorf("%w: device offset %#x past last sub-heap", ErrBadPointer, dev)
+	}
+	in := dev - l.subheapBase(int(i))
+	if in < l.metaSize {
+		return 0, 0, fmt.Errorf("%w: device offset %#x inside metadata", ErrBadPointer, dev)
+	}
+	return uint16(i), in - l.metaSize, nil
+}

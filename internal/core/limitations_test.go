@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"poseidon/internal/mpk"
+)
+
+// TestLimitationWrpkruHijack documents the limitation §8 acknowledges:
+// WRPKRU is an unprivileged instruction, so an attacker who hijacks
+// control flow can execute it and grant themselves metadata write access.
+// Poseidon does not (and cannot, without binary inspection à la ERIM or
+// Hodor) prevent this. The test pins the exact boundary of the guarantee:
+// data bugs are blocked; control-flow hijack is out of scope.
+func TestLimitationWrpkruHijack(t *testing.T) {
+	h := newTestHeap(t)
+	th := newThread(t, h)
+	defer th.Close()
+	if _, err := th.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+	metaOff := h.lay.subheapBase(0) + 256
+	payload := uint64(0xBADC0DE)
+
+	// A stray store from a well-behaved (merely buggy) program faults.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("store should have faulted before the hijack")
+			}
+		}()
+		_ = th.Window().WriteU64(metaOff, payload)
+	}()
+
+	// The hijack: attacker-controlled code executes WRPKRU on its own
+	// thread, then the same store succeeds — metadata corrupted.
+	attacker := h.Unit().NewThread(mpk.RightsRO)
+	attacker.SetRights(metadataKey, mpk.RightsRW) // the unprivileged WRPKRU
+	win := mpk.NewWindow(h.Device(), attacker)
+	if err := win.WriteU64(metaOff, payload); err != nil {
+		t.Fatalf("hijacked store failed unexpectedly: %v", err)
+	}
+	got, err := win.ReadU64(metaOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != payload {
+		t.Fatalf("metadata word = %#x, want the attacker's payload", got)
+	}
+	// (Deliberately no assertion that Poseidon detects this — it cannot,
+	// and the paper says so.)
+}
+
+// TestHardenedModeBlocksHijack verifies the §8 mitigation implemented as
+// ProtectMPKHardened: with the unit sealed (modeling ERIM/Hodor binary
+// inspection), the attacker's WRPKRU traps, and the metadata stays
+// protected — while the allocator itself keeps working through its vetted
+// grant/revoke paths.
+func TestHardenedModeBlocksHijack(t *testing.T) {
+	opts := testOptions()
+	opts.Protection = ProtectMPKHardened
+	h, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := h.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Close()
+	// Normal operation works: grant/revoke go through the authority.
+	p, err := th.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	// The hijack: attacker executes WRPKRU — now it traps.
+	attacker := h.Unit().NewThread(mpk.RightsRO)
+	trapped := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(*mpk.SwitchViolationError); !ok {
+					panic(r)
+				}
+				trapped = true
+			}
+		}()
+		attacker.SetRights(metadataKey, mpk.RightsRW)
+	}()
+	if !trapped {
+		t.Fatal("unauthorized WRPKRU did not trap on the sealed unit")
+	}
+	// And transactional allocation (which grants on the caller's thread
+	// too) still works under hardening.
+	if _, err := th.TxAlloc(64, true); err != nil {
+		t.Fatal(err)
+	}
+	auditHeap(t, h)
+}

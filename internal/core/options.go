@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"poseidon/internal/nvm"
+)
+
+// Protection selects how the heap-metadata region is guarded.
+type Protection int
+
+const (
+	// ProtectMPK guards metadata with per-thread protection keys (the
+	// paper's design). Each allocator operation grants write permission to
+	// the executing thread only and revokes it on exit (§4.3).
+	ProtectMPK Protection = iota + 1
+	// ProtectNone leaves metadata writable at all times — the ablation
+	// baseline quantifying MPK's cost (and demonstrating its value).
+	ProtectNone
+	// ProtectMprotect models page-table-based protection: the same
+	// grant/revoke discipline, but each switch costs a syscall-scale
+	// penalty instead of WRPKRU's ~23 cycles. Used by the ablation bench.
+	ProtectMprotect
+	// ProtectMPKHardened is MPK plus the §8 mitigation the paper points to
+	// (ERIM/Hodor binary inspection): the protection unit is sealed so
+	// only the allocator's own entry/exit paths can execute WRPKRU — a
+	// control-flow hijack attempting a permission switch traps.
+	ProtectMPKHardened
+)
+
+// Options configures heap creation. The zero value is usable: every field
+// has a sensible default applied by withDefaults.
+type Options struct {
+	// Subheaps is the number of per-CPU sub-heaps. Defaults to
+	// runtime.GOMAXPROCS(0).
+	Subheaps int
+	// SubheapUserSize is the user-data bytes per sub-heap; must be a power
+	// of two. Default 64 MiB.
+	SubheapUserSize uint64
+	// SubheapMetaSize is the metadata bytes per sub-heap (header, logs,
+	// hash table). Default max(1 MiB, SubheapUserSize/16), page aligned.
+	SubheapMetaSize uint64
+	// UndoLogSize is the per-sub-heap undo-log bytes. Default 256 KiB.
+	UndoLogSize uint64
+	// MaxThreads bounds concurrently open Thread handles (each owns one
+	// persistent micro-log lane). Default 256.
+	MaxThreads int
+	// MicroLogLaneSize is bytes per micro-log lane; bounds the length of
+	// one transactional allocation sequence. Default 4 KiB (~250 allocs).
+	MicroLogLaneSize uint64
+	// HeapID identifies the heap inside persistent pointers. Zero picks a
+	// pseudo-random ID at creation.
+	HeapID uint64
+	// Protection selects the metadata guard. Default ProtectMPK.
+	Protection Protection
+	// MprotectCost is the modeled spin per permission switch when
+	// Protection is ProtectMprotect. Default 20000 iterations (~µs scale).
+	MprotectCost int
+	// CrashTracking enables the device's crash simulation (shadow
+	// persistent image). Required by SimulateCrash; costs memory and
+	// per-store bookkeeping. Default off.
+	CrashTracking bool
+	// DeviceStats enables flush/fence counters on the device.
+	DeviceStats bool
+}
+
+const (
+	defaultUserSize     = 64 << 20
+	defaultUndoLogSize  = 256 << 10
+	defaultMaxThreads   = 256
+	defaultLaneSize     = 4 << 10
+	defaultMprotectCost = 20000
+
+	minMetaSize = 1 << 20
+)
+
+func (o Options) withDefaults() Options {
+	if o.Subheaps == 0 {
+		o.Subheaps = runtime.GOMAXPROCS(0)
+	}
+	if o.SubheapUserSize == 0 {
+		o.SubheapUserSize = defaultUserSize
+	}
+	if o.SubheapMetaSize == 0 {
+		o.SubheapMetaSize = o.SubheapUserSize / 16
+		if o.SubheapMetaSize < minMetaSize {
+			o.SubheapMetaSize = minMetaSize
+		}
+	}
+	o.SubheapMetaSize = (o.SubheapMetaSize + nvm.PageSize - 1) &^ (nvm.PageSize - 1)
+	if o.UndoLogSize == 0 {
+		o.UndoLogSize = defaultUndoLogSize
+	}
+	o.UndoLogSize = (o.UndoLogSize + nvm.PageSize - 1) &^ (nvm.PageSize - 1)
+	if o.MaxThreads == 0 {
+		o.MaxThreads = defaultMaxThreads
+	}
+	if o.MicroLogLaneSize == 0 {
+		o.MicroLogLaneSize = defaultLaneSize
+	}
+	o.MicroLogLaneSize = (o.MicroLogLaneSize + 255) &^ 255
+	if o.Protection == 0 {
+		o.Protection = ProtectMPK
+	}
+	if o.MprotectCost == 0 {
+		o.MprotectCost = defaultMprotectCost
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Subheaps < 1 || o.Subheaps > 1<<16 {
+		return fmt.Errorf("poseidon: sub-heap count %d out of range [1, 65536]", o.Subheaps)
+	}
+	if o.SubheapUserSize&(o.SubheapUserSize-1) != 0 {
+		return fmt.Errorf("poseidon: sub-heap user size %d must be a power of two", o.SubheapUserSize)
+	}
+	if o.SubheapUserSize < 1<<12 {
+		return fmt.Errorf("poseidon: sub-heap user size %d too small", o.SubheapUserSize)
+	}
+	if o.SubheapUserSize >= 1<<subheapShift {
+		return fmt.Errorf("poseidon: sub-heap user size %d exceeds the 6-byte pointer offset", o.SubheapUserSize)
+	}
+	if o.SubheapMetaSize < 64<<10 {
+		return fmt.Errorf("poseidon: sub-heap metadata size %d too small", o.SubheapMetaSize)
+	}
+	if o.UndoLogSize < 8<<10 || o.UndoLogSize >= o.SubheapMetaSize {
+		return fmt.Errorf("poseidon: undo log size %d out of range", o.UndoLogSize)
+	}
+	if o.MaxThreads < 1 || o.MaxThreads > 1<<20 {
+		return fmt.Errorf("poseidon: max threads %d out of range", o.MaxThreads)
+	}
+	return nil
+}

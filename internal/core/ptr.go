@@ -1,0 +1,54 @@
+package core
+
+import "fmt"
+
+// NVMPtr is Poseidon's 16-byte persistent pointer (paper §4.6): an 8-byte
+// heap ID plus a location word packing a 2-byte sub-heap ID and a 6-byte
+// offset within that sub-heap's user region. It is stable across restarts
+// and address-space layouts; convert to a raw device offset with
+// Heap.RawOffset before accessing memory.
+//
+// The zero NVMPtr is the null pointer.
+type NVMPtr struct {
+	HeapID uint64
+	loc    uint64
+}
+
+const (
+	subheapShift = 48
+	offsetMask   = (uint64(1) << subheapShift) - 1
+)
+
+// makePtr builds a pointer from its parts. The offset must fit in 6 bytes.
+func makePtr(heapID uint64, subheap uint16, offset uint64) NVMPtr {
+	return NVMPtr{HeapID: heapID, loc: uint64(subheap)<<subheapShift | offset&offsetMask}
+}
+
+// ptrFromWords rebuilds a pointer from its two persisted words.
+func ptrFromWords(heapID, loc uint64) NVMPtr {
+	return NVMPtr{HeapID: heapID, loc: loc}
+}
+
+// PtrFromLoc rebuilds a pointer from a persisted location word — the
+// inverse of Loc for application code that stores pointers inside
+// persistent objects.
+func PtrFromLoc(heapID, loc uint64) NVMPtr { return ptrFromWords(heapID, loc) }
+
+// IsNull reports whether the pointer is the null pointer.
+func (p NVMPtr) IsNull() bool { return p == NVMPtr{} }
+
+// Subheap returns the sub-heap ID.
+func (p NVMPtr) Subheap() uint16 { return uint16(p.loc >> subheapShift) }
+
+// Offset returns the offset within the sub-heap's user region.
+func (p NVMPtr) Offset() uint64 { return p.loc & offsetMask }
+
+// Loc returns the packed location word (for persisting the pointer).
+func (p NVMPtr) Loc() uint64 { return p.loc }
+
+func (p NVMPtr) String() string {
+	if p.IsNull() {
+		return "nvmptr(null)"
+	}
+	return fmt.Sprintf("nvmptr(heap=%#x sub=%d off=%#x)", p.HeapID, p.Subheap(), p.Offset())
+}

@@ -1,0 +1,29 @@
+package core
+
+import "sync/atomic"
+
+// subheapStats are per-sub-heap operation counters (atomic so cross-thread
+// frees and the aggregating reader need no extra locking).
+type subheapStats struct {
+	allocs          atomic.Uint64
+	txAllocs        atomic.Uint64
+	frees           atomic.Uint64
+	defragMerges    atomic.Uint64
+	invalidFrees    atomic.Uint64
+	doubleFrees     atomic.Uint64
+	recoveredBlocks atomic.Uint64
+	recoveredNoops  atomic.Uint64
+}
+
+// HeapStats is an aggregated snapshot of allocator activity.
+type HeapStats struct {
+	Allocs             uint64 // singleton allocations served
+	TxAllocs           uint64 // transactional allocations served
+	Frees              uint64 // frees accepted
+	DefragMerges       uint64 // buddy merges performed by defragmentation
+	InvalidFrees       uint64 // frees rejected: address not a block
+	DoubleFrees        uint64 // frees rejected: block already free
+	RecoveredBlocks    uint64 // uncommitted tx allocations freed at recovery
+	RecoveredNoops     uint64 // micro-log entries already rolled back by undo
+	PermissionSwitches uint64 // WRPKRU executions (2 per guarded operation)
+}

@@ -1,0 +1,562 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"poseidon/internal/memblock"
+	"poseidon/internal/mpk"
+	"poseidon/internal/plog"
+	"poseidon/internal/txn"
+	"sync"
+)
+
+// errNoFreeBlock is the internal signal that every free list at or above
+// the requested class is empty (triggers defragmentation case 1, §5.4).
+var errNoFreeBlock = errors.New("poseidon: no free block of requested class")
+
+// noSlotError is the internal signal that the hash table had no slot in the
+// probe window of key (triggers defragmentation case 2, §5.4).
+type noSlotError struct{ key uint64 }
+
+func (e *noSlotError) Error() string {
+	return fmt.Sprintf("poseidon: no hash slot in probe window of %#x", e.key)
+}
+
+// subheap is one per-CPU sub-heap (paper §4.1): its own lock, undo log,
+// buddy lists and memory-block hash table, all inside its MPK-protected
+// metadata region.
+type subheap struct {
+	id   int
+	h    *Heap
+	base uint64
+
+	mu     sync.Mutex
+	thread *mpk.Thread // the allocator's execution context on this sub-heap
+	win    mpk.Window
+	mgr    *memblock.Manager
+	undo   *plog.UndoLog
+	batch  *txn.Batch
+	ready  bool // logs opened and persistent structures formatted
+
+	stats subheapStats
+}
+
+func newSubheap(h *Heap, id int) (*subheap, error) {
+	g, err := h.lay.memblockGeometry(id)
+	if err != nil {
+		return nil, err
+	}
+	s := &subheap{
+		id:     id,
+		h:      h,
+		base:   h.lay.subheapBase(id),
+		thread: h.unit.NewThread(defaultRights(h.opts)),
+	}
+	s.win = mpk.NewWindow(h.dev, s.thread)
+	s.mgr = memblock.NewManager(s.win, g)
+	return s, nil
+}
+
+// initializedFlag reads the persistent formatted marker.
+func (s *subheap) initializedFlag() (bool, error) {
+	v, err := s.win.ReadU64(s.base + shInitializedOff)
+	return v == 1, err
+}
+
+// recoverLogs opens the logs of a formatted sub-heap and replays its undo
+// log (heap load path, §5.1). Unformatted sub-heaps are left untouched —
+// they format lazily on first use, like the paper's first-malloc-on-CPU.
+func (s *subheap) recoverLogs() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	init, err := s.initializedFlag()
+	if err != nil {
+		return err
+	}
+	if !init {
+		return nil
+	}
+	s.h.grant(s.thread)
+	defer s.h.revoke(s.thread)
+	return s.open(true)
+}
+
+// open attaches logs and the batch; with replay it also runs undo recovery.
+// Caller holds the lock with metadata write rights.
+func (s *subheap) open(replay bool) error {
+	undo, err := plog.OpenUndoLog(s.win, s.h.lay.undoBase(s.id), s.h.lay.undoSize)
+	if err != nil {
+		return err
+	}
+	if replay {
+		if err := undo.Replay(); err != nil {
+			return err
+		}
+	}
+	s.undo = undo
+	s.batch = txn.NewBatch(s.win, undo)
+	s.ready = true
+	return nil
+}
+
+// ensureReady formats the sub-heap on first use. Caller holds the lock with
+// metadata write rights.
+func (s *subheap) ensureReady() error {
+	if s.ready {
+		return nil
+	}
+	init, err := s.initializedFlag()
+	if err != nil {
+		return err
+	}
+	if init {
+		// Raw-attached heaps (fsck -raw) must see the image untouched:
+		// open without replaying the undo log.
+		return s.open(!s.h.rawAttach)
+	}
+	return s.format()
+}
+
+// format creates the persistent structures of a fresh (or half-created)
+// sub-heap. The initialized flag is the commit point: a crash mid-format
+// reformats from scratch on the next use.
+func (s *subheap) format() error {
+	g := s.mgr.Geometry()
+	// Zero everything format will touch: header page, undo log region, and
+	// the memblock header + free lists + level 0 (higher levels are only
+	// written after activation, which happens after the flag commits).
+	zeroEnd := g.LevelOff[0] + g.LevelCap[0]*memblock.RecordSize
+	if err := s.win.Zero(s.base, zeroEnd-s.base); err != nil {
+		return err
+	}
+	if err := s.win.Flush(s.base, zeroEnd-s.base); err != nil {
+		return err
+	}
+	s.win.Fence()
+	if err := s.mgr.Format(); err != nil {
+		return err
+	}
+	if err := s.open(false); err != nil {
+		return err
+	}
+	// Seed the heap: the whole user region is one free block of the
+	// largest class.
+	slot, err := s.mgr.Insert(s.batch, g.UserBase, g.UserSize, memblock.StatusFree)
+	if err != nil {
+		return err
+	}
+	if err := s.mgr.PushFreeTail(s.batch, g.MaxClass(), slot); err != nil {
+		return err
+	}
+	if err := s.batch.Commit(); err != nil {
+		return err
+	}
+	// Commit point.
+	return s.win.PersistU64(s.base+shInitializedOff, 1)
+}
+
+// alloc carves a block of at least size bytes out of this sub-heap and
+// returns its device offset (paper §5.2). If lane is non-nil the allocation
+// is transactional: its address is persisted to the micro-log lane before
+// the undo log truncates (§5.3).
+func (s *subheap) alloc(size uint64, lane *plog.MicroLog) (uint64, error) {
+	s.mu.Lock()
+	s.h.grant(s.thread)
+	defer func() {
+		s.h.revoke(s.thread)
+		s.mu.Unlock()
+	}()
+	if err := s.ensureReady(); err != nil {
+		return 0, err
+	}
+	g := s.mgr.Geometry()
+	class, err := g.ClassOf(size)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadSize, err)
+	}
+
+	var defraggedList, defraggedProbe, extended bool
+	for {
+		off, err := s.tryAlloc(class, lane)
+		if err == nil {
+			if lane != nil {
+				s.stats.txAllocs.Add(1)
+			} else {
+				s.stats.allocs.Add(1)
+			}
+			return off, nil
+		}
+		var ns *noSlotError
+		switch {
+		case errors.As(err, &ns):
+			// Hash table pressure: defragment the probe window, then
+			// extend the table, then give up (§5.2).
+			if !defraggedProbe {
+				defraggedProbe = true
+				if _, derr := s.defragProbeWindow(ns.key); derr != nil {
+					return 0, derr
+				}
+				continue
+			}
+			if !extended {
+				extended = true
+				if eerr := s.extendLevel(); eerr != nil {
+					if errors.Is(eerr, memblock.ErrTableFull) {
+						return 0, fmt.Errorf("%w: metadata table full", ErrOutOfMemory)
+					}
+					return 0, eerr
+				}
+				continue
+			}
+			return 0, fmt.Errorf("%w: metadata table full", ErrOutOfMemory)
+		case errors.Is(err, errNoFreeBlock):
+			// Space pressure: merge smaller free blocks upward (§5.4).
+			if !defraggedList {
+				defraggedList = true
+				progress, derr := s.defragFreeLists(class)
+				if derr != nil {
+					return 0, derr
+				}
+				if progress {
+					continue
+				}
+			}
+			return 0, fmt.Errorf("%w: %d bytes requested", ErrOutOfMemory, size)
+		default:
+			return 0, err
+		}
+	}
+}
+
+// tryAlloc is one allocation attempt inside a single failure-atomic batch.
+func (s *subheap) tryAlloc(class int, lane *plog.MicroLog) (blockOff uint64, err error) {
+	g := s.mgr.Geometry()
+	b := s.batch
+	committed := false
+	defer func() {
+		if !committed {
+			b.Abort()
+		}
+	}()
+
+	// Find the smallest non-empty class ≥ class.
+	c := class
+	var slot uint64
+	for ; c < g.NumClasses; c++ {
+		head, herr := s.mgr.FreeHead(b, c)
+		if herr != nil {
+			return 0, herr
+		}
+		if head != 0 {
+			slot = head
+			break
+		}
+	}
+	if slot == 0 {
+		return 0, errNoFreeBlock
+	}
+	rec, err := s.mgr.ReadRecord(b, slot)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.mgr.RemoveFree(b, c, slot); err != nil {
+		return 0, err
+	}
+	blockOff = rec.BlockOff
+
+	// Split halves until the block matches the requested class; each upper
+	// half becomes a new free buddy (§5.2).
+	for c > class {
+		c--
+		half := g.ClassSize(c)
+		buddyOff := blockOff + half
+		bslot, ierr := s.mgr.Insert(b, buddyOff, half, memblock.StatusFree)
+		if errors.Is(ierr, memblock.ErrNoSlot) {
+			return 0, &noSlotError{key: buddyOff}
+		}
+		if ierr != nil {
+			return 0, ierr
+		}
+		if err := s.mgr.PushFreeTail(b, c, bslot); err != nil {
+			return 0, err
+		}
+	}
+	if err := s.mgr.SetSize(b, slot, g.ClassSize(class)); err != nil {
+		return 0, err
+	}
+	if err := s.mgr.SetStatus(b, slot, memblock.StatusAllocated); err != nil {
+		return 0, err
+	}
+
+	var hook func() error
+	if lane != nil {
+		loc := uint64(s.id)<<subheapShift | (blockOff - g.UserBase)
+		entry := plog.MicroEntry{Offset: loc, Size: g.ClassSize(class)}
+		hook = func() error { return lane.Append(entry) }
+	}
+	if cerr := b.CommitWith(hook); cerr != nil {
+		// The commit may have sealed (or even applied) the batch; replay
+		// the undo log to roll the metadata back before surfacing the
+		// error.
+		b.Abort()
+		if rerr := s.undo.Replay(); rerr != nil {
+			return 0, fmt.Errorf("poseidon: rollback after failed commit: %w", rerr)
+		}
+		if errors.Is(cerr, plog.ErrLogFull) {
+			return 0, ErrTxTooLarge
+		}
+		return 0, cerr
+	}
+	committed = true
+	return blockOff, nil
+}
+
+// free returns the block at device offset blockOff to its free list
+// (paper §5.5). Invalid and double frees are detected via the hash table
+// and rejected.
+func (s *subheap) free(blockOff uint64) error {
+	s.mu.Lock()
+	s.h.grant(s.thread)
+	defer func() {
+		s.h.revoke(s.thread)
+		s.mu.Unlock()
+	}()
+	if err := s.ensureReady(); err != nil {
+		return err
+	}
+	slot, err := s.mgr.Lookup(s.win, blockOff)
+	if errors.Is(err, memblock.ErrNotFound) {
+		s.stats.invalidFrees.Add(1)
+		return ErrInvalidFree
+	}
+	if err != nil {
+		return err
+	}
+	rec, err := s.mgr.ReadRecord(s.win, slot)
+	if err != nil {
+		return err
+	}
+	if rec.Status == memblock.StatusFree {
+		s.stats.doubleFrees.Add(1)
+		return ErrDoubleFree
+	}
+	g := s.mgr.Geometry()
+	class, err := g.ClassOf(rec.Size)
+	if err != nil {
+		return fmt.Errorf("%w: record size %d", ErrCorruptHeap, rec.Size)
+	}
+	b := s.batch
+	// Tail insertion delays reuse of the just-freed block (§5.5).
+	if err := s.mgr.PushFreeTail(b, class, slot); err != nil {
+		b.Abort()
+		return err
+	}
+	if err := b.Commit(); err != nil {
+		b.Abort()
+		if rerr := s.undo.Replay(); rerr != nil {
+			return fmt.Errorf("poseidon: rollback after failed commit: %w", rerr)
+		}
+		return err
+	}
+	s.stats.frees.Add(1)
+	return nil
+}
+
+// mergeBuddy coalesces the free block recorded at slot with its buddy if
+// the buddy is also free and the same size. One merge is one failure-atomic
+// batch. Returns whether a merge happened.
+func (s *subheap) mergeBuddy(slot uint64) (bool, error) {
+	g := s.mgr.Geometry()
+	rec, err := s.mgr.ReadRecord(s.win, slot)
+	if err != nil {
+		return false, err
+	}
+	// The slot may have been emptied or repurposed by an earlier merge in
+	// the same defrag pass.
+	if rec.BlockOff == 0 || rec.BlockOff == ^uint64(0) || rec.Status != memblock.StatusFree {
+		return false, nil
+	}
+	if rec.Size >= g.UserSize {
+		return false, nil // already the maximum class
+	}
+	rel := rec.BlockOff - g.UserBase
+	buddyOff := g.UserBase + (rel ^ rec.Size)
+	bslot, err := s.mgr.Lookup(s.win, buddyOff)
+	if errors.Is(err, memblock.ErrNotFound) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	brec, err := s.mgr.ReadRecord(s.win, bslot)
+	if err != nil {
+		return false, err
+	}
+	if brec.Status != memblock.StatusFree || brec.Size != rec.Size {
+		return false, nil
+	}
+	class, err := g.ClassOf(rec.Size)
+	if err != nil {
+		return false, err
+	}
+	lower, higher := rec, brec
+	if brec.BlockOff < rec.BlockOff {
+		lower, higher = brec, rec
+	}
+	b := s.batch
+	merge := func() error {
+		if err := s.mgr.RemoveFree(b, class, rec.Slot); err != nil {
+			return err
+		}
+		if err := s.mgr.RemoveFree(b, class, brec.Slot); err != nil {
+			return err
+		}
+		if err := s.mgr.Delete(b, higher.Slot); err != nil {
+			return err
+		}
+		if err := s.mgr.SetSize(b, lower.Slot, rec.Size*2); err != nil {
+			return err
+		}
+		return s.mgr.PushFreeTail(b, class+1, lower.Slot)
+	}
+	if err := merge(); err != nil {
+		b.Abort()
+		return false, err
+	}
+	if err := b.Commit(); err != nil {
+		b.Abort()
+		if rerr := s.undo.Replay(); rerr != nil {
+			return false, fmt.Errorf("poseidon: rollback after failed merge: %w", rerr)
+		}
+		return false, err
+	}
+	s.stats.defragMerges.Add(1)
+	return true, nil
+}
+
+// defragFreeLists merges smaller free blocks upward until a block of at
+// least class target exists or no merge makes progress (§5.4 case 1).
+func (s *subheap) defragFreeLists(target int) (bool, error) {
+	g := s.mgr.Geometry()
+	satisfied := func() (bool, error) {
+		for c := target; c < g.NumClasses; c++ {
+			head, err := s.mgr.FreeHead(s.win, c)
+			if err != nil {
+				return false, err
+			}
+			if head != 0 {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	anyMerge := false
+	for c := 0; c < target; c++ {
+		slots, err := s.freeListSlots(c)
+		if err != nil {
+			return false, err
+		}
+		for _, slot := range slots {
+			merged, err := s.mergeBuddy(slot)
+			if err != nil {
+				return false, err
+			}
+			if merged {
+				anyMerge = true
+				if ok, err := satisfied(); err != nil || ok {
+					return ok, err
+				}
+			}
+		}
+	}
+	ok, err := satisfied()
+	if err != nil {
+		return false, err
+	}
+	return ok && anyMerge || ok, nil
+}
+
+// defragProbeWindow merges free blocks recorded in the probe window of key
+// to open a hash slot there (§5.4 case 2).
+func (s *subheap) defragProbeWindow(key uint64) (bool, error) {
+	slots, err := s.mgr.ProbeWindowSlots(s.win, key)
+	if err != nil {
+		return false, err
+	}
+	any := false
+	for _, slot := range slots {
+		merged, err := s.mergeBuddy(slot)
+		if err != nil {
+			return false, err
+		}
+		any = any || merged
+	}
+	return any, nil
+}
+
+// freeListSlots snapshots the slots on class c's free list.
+func (s *subheap) freeListSlots(c int) ([]uint64, error) {
+	var out []uint64
+	head, err := s.mgr.FreeHead(s.win, c)
+	if err != nil {
+		return nil, err
+	}
+	for slot := head; slot != 0; {
+		out = append(out, slot)
+		rec, err := s.mgr.ReadRecord(s.win, slot)
+		if err != nil {
+			return nil, err
+		}
+		slot = rec.NextFree
+		if uint64(len(out)) > s.mgr.Geometry().TotalSlots() {
+			return nil, fmt.Errorf("%w: cyclic free list (class %d)", ErrCorruptHeap, c)
+		}
+	}
+	return out, nil
+}
+
+// extendLevel activates the next hash-table level in its own batch.
+func (s *subheap) extendLevel() error {
+	if err := s.mgr.ExtendLevel(s.batch); err != nil {
+		s.batch.Abort()
+		return err
+	}
+	if err := s.batch.Commit(); err != nil {
+		s.batch.Abort()
+		if rerr := s.undo.Replay(); rerr != nil {
+			return fmt.Errorf("poseidon: rollback after failed extend: %w", rerr)
+		}
+		return err
+	}
+	return nil
+}
+
+// blockSize returns the size of the allocated block starting at device
+// offset blockOff (used by the facade for bounds-checked access).
+func (s *subheap) blockSize(blockOff uint64) (uint64, error) {
+	s.mu.Lock()
+	s.h.grant(s.thread)
+	defer func() {
+		s.h.revoke(s.thread)
+		s.mu.Unlock()
+	}()
+	if err := s.ensureReady(); err != nil {
+		return 0, err
+	}
+	slot, err := s.mgr.Lookup(s.win, blockOff)
+	if errors.Is(err, memblock.ErrNotFound) {
+		return 0, ErrBadPointer
+	}
+	if err != nil {
+		return 0, err
+	}
+	rec, err := s.mgr.ReadRecord(s.win, slot)
+	if err != nil {
+		return 0, err
+	}
+	if rec.Status != memblock.StatusAllocated {
+		return 0, ErrBadPointer
+	}
+	return rec.Size, nil
+}

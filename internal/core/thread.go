@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+
+	"poseidon/internal/mpk"
+	"poseidon/internal/plog"
+)
+
+// Thread is a per-goroutine allocation context: it pins the goroutine to
+// one sub-heap for allocations (frees go to the owning sub-heap of the
+// pointer), owns a persistent micro-log lane for transactional allocation,
+// and carries the goroutine's PKRU for user-data access.
+//
+// A Thread must not be used concurrently from multiple goroutines. Close
+// returns the lane to the heap's pool.
+type Thread struct {
+	h     *Heap
+	shard int
+	lane  *plog.MicroLog
+	laneI int
+
+	pkru *mpk.Thread // the application thread: metadata read-only
+	win  mpk.Window
+
+	closed bool
+}
+
+// Thread registers a new allocation context. Shards are assigned
+// round-robin over the sub-heaps — the portable analogue of the paper's
+// "sub-heap of the CPU the thread runs on" (DESIGN.md §1).
+func (h *Heap) Thread() (*Thread, error) {
+	return h.ThreadOn(int(h.nextShard.Add(1)-1) % h.lay.subheaps)
+}
+
+// ThreadOn registers an allocation context pinned to a specific sub-heap
+// (benchmarks use this to model one thread per CPU).
+func (h *Heap) ThreadOn(shard int) (*Thread, error) {
+	if h.isClosed() {
+		return nil, ErrClosed
+	}
+	if shard < 0 || shard >= h.lay.subheaps {
+		return nil, fmt.Errorf("poseidon: shard %d out of range [0, %d)", shard, h.lay.subheaps)
+	}
+	h.laneMu.Lock()
+	if len(h.freeLanes) == 0 {
+		h.laneMu.Unlock()
+		return nil, ErrNoThreads
+	}
+	laneI := h.freeLanes[len(h.freeLanes)-1]
+	h.freeLanes = h.freeLanes[:len(h.freeLanes)-1]
+	h.laneMu.Unlock()
+
+	pkru := h.unit.NewThread(defaultRights(h.opts))
+	win := mpk.NewWindow(h.dev, pkru)
+
+	// The lane is written under the heap's protection discipline: TxAlloc
+	// grants this thread metadata write access around micro-log operations.
+	lane, err := plog.OpenMicroLog(win, h.lay.laneBase(laneI), h.lay.laneSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Thread{h: h, shard: shard, lane: lane, laneI: laneI, pkru: pkru, win: win}, nil
+}
+
+// Close releases the thread's micro-log lane. An open (uncommitted)
+// transaction stays logged and is rolled back at the next heap load.
+func (t *Thread) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	t.h.laneMu.Lock()
+	t.h.freeLanes = append(t.h.freeLanes, t.laneI)
+	t.h.laneMu.Unlock()
+}
+
+// Shard returns the sub-heap this thread allocates from.
+func (t *Thread) Shard() int { return t.shard }
+
+// Heap returns the owning heap.
+func (t *Thread) Heap() *Heap { return t.h }
+
+func (t *Thread) check() error {
+	if t.closed || t.h.isClosed() {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Alloc carves a block of at least size bytes from the thread's sub-heap —
+// poseidon_alloc (§4.6, §5.2).
+func (t *Thread) Alloc(size uint64) (NVMPtr, error) {
+	if err := t.check(); err != nil {
+		return NVMPtr{}, err
+	}
+	s := t.h.subheaps[t.shard]
+	dev, err := s.alloc(size, nil)
+	if err != nil {
+		return NVMPtr{}, err
+	}
+	return makePtr(t.h.heapID, uint16(t.shard), dev-t.h.lay.userBase(t.shard)), nil
+}
+
+// TxAlloc performs a transactional allocation — poseidon_tx_alloc (§4.6,
+// §5.3). Every allocated address is persisted to the thread's micro log;
+// isEnd commits the transaction by truncating the log. If the process
+// crashes before the commit, recovery frees every logged allocation.
+func (t *Thread) TxAlloc(size uint64, isEnd bool) (NVMPtr, error) {
+	if err := t.check(); err != nil {
+		return NVMPtr{}, err
+	}
+	s := t.h.subheaps[t.shard]
+
+	// Micro-log writes happen inside the allocator: grant this thread
+	// metadata write access for the duration (the lane lives in the
+	// protected superblock region).
+	t.h.grant(t.pkru)
+	dev, err := s.alloc(size, t.lane)
+	if err != nil {
+		t.h.revoke(t.pkru)
+		return NVMPtr{}, err
+	}
+	if isEnd {
+		if terr := t.lane.Truncate(); terr != nil {
+			t.h.revoke(t.pkru)
+			return NVMPtr{}, terr
+		}
+	}
+	t.h.revoke(t.pkru)
+	return makePtr(t.h.heapID, uint16(t.shard), dev-t.h.lay.userBase(t.shard)), nil
+}
+
+// TxAbandon drops the current transaction's log without freeing its
+// allocations — test helper modeling a crash between allocations.
+func (t *Thread) TxAbandon() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.h.grant(t.pkru)
+	defer t.h.revoke(t.pkru)
+	return t.lane.Truncate()
+}
+
+// Free returns a block to its owning sub-heap — poseidon_free (§5.5).
+// Cross-sub-heap frees contend on the owner's lock, exactly as in the
+// paper (§5.7). Invalid and double frees return an error and leave the
+// heap untouched.
+func (t *Thread) Free(p NVMPtr) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	dev, err := t.h.RawOffset(p)
+	if err != nil {
+		return err
+	}
+	return t.h.subheaps[p.Subheap()].free(dev)
+}
+
+// BlockSize returns the usable size of the allocated block p points at.
+func (t *Thread) BlockSize(p NVMPtr) (uint64, error) {
+	if err := t.check(); err != nil {
+		return 0, err
+	}
+	dev, err := t.h.RawOffset(p)
+	if err != nil {
+		return 0, err
+	}
+	return t.h.subheaps[p.Subheap()].blockSize(dev)
+}
+
+// Window returns the thread's protection-checked device view for user-data
+// access. Stores through it that stray into the metadata region fault with
+// *mpk.ProtectionError — the paper's headline safety property.
+func (t *Thread) Window() mpk.Window { return t.win }
+
+// Write stores b into the block at p starting at byte off. The store goes
+// through the thread's MPK window: in-bounds stores land in the user
+// region; overflowing into metadata faults.
+func (t *Thread) Write(p NVMPtr, off uint64, b []byte) error {
+	dev, err := t.h.RawOffset(p)
+	if err != nil {
+		return err
+	}
+	return t.win.Write(dev+off, b)
+}
+
+// Read loads len(b) bytes from the block at p starting at byte off.
+func (t *Thread) Read(p NVMPtr, off uint64, b []byte) error {
+	dev, err := t.h.RawOffset(p)
+	if err != nil {
+		return err
+	}
+	return t.win.Read(dev+off, b)
+}
+
+// WriteU64 stores an 8-byte word into the block at p.
+func (t *Thread) WriteU64(p NVMPtr, off uint64, v uint64) error {
+	dev, err := t.h.RawOffset(p)
+	if err != nil {
+		return err
+	}
+	return t.win.WriteU64(dev+off, v)
+}
+
+// ReadU64 loads an 8-byte word from the block at p.
+func (t *Thread) ReadU64(p NVMPtr, off uint64) (uint64, error) {
+	dev, err := t.h.RawOffset(p)
+	if err != nil {
+		return 0, err
+	}
+	return t.win.ReadU64(dev + off)
+}
+
+// Persist writes b into the block at p and makes it durable.
+func (t *Thread) Persist(p NVMPtr, off uint64, b []byte) error {
+	dev, err := t.h.RawOffset(p)
+	if err != nil {
+		return err
+	}
+	return t.win.Persist(dev+off, b)
+}
+
+// Flush makes [off, off+n) of the block at p durable.
+func (t *Thread) Flush(p NVMPtr, off, n uint64) error {
+	dev, err := t.h.RawOffset(p)
+	if err != nil {
+		return err
+	}
+	if err := t.win.Flush(dev+off, n); err != nil {
+		return err
+	}
+	t.win.Fence()
+	return nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"poseidon/internal/nvm"
+)
+
+// Two threads on the SAME sub-heap run transactions concurrently; each
+// owns a private micro-log lane, so one thread's commit must not absorb or
+// truncate the other's open transaction.
+func TestConcurrentTransactionsIsolatedLanes(t *testing.T) {
+	h := newTestHeap(t)
+	t1, err := h.ThreadOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := h.ThreadOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// t1 opens a transaction and never commits; t2 commits one.
+	p1, err := t1.TxAlloc(64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2a, err := t2.TxAlloc(64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2b, err := t2.TxAlloc(64, true) // t2 commits
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t1 adds one more allocation to its still-open transaction.
+	p1b, err := t1.TxAlloc(64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := reload(t, h, nvm.CrashPolicy{Mode: nvm.EvictNone})
+	// t2's committed blocks survive; t1's open transaction rolled back.
+	if got := h2.Stats().RecoveredBlocks; got != 2 {
+		t.Fatalf("recovery rolled back %d blocks, want exactly t1's 2", got)
+	}
+	th, err := h2.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Close()
+	for _, p := range []NVMPtr{p2a, p2b} {
+		if err := th.Free(p); err != nil {
+			t.Fatalf("committed block %v lost: %v", p, err)
+		}
+	}
+	for _, p := range []NVMPtr{p1, p1b} {
+		if err := th.Free(p); !errors.Is(err, ErrDoubleFree) {
+			t.Fatalf("uncommitted block %v not rolled back: %v", p, err)
+		}
+	}
+	auditHeap(t, h2)
+}
+
+// Hammer the same shard from many goroutines mixing transactional and
+// singleton allocations; the sub-heap lock plus per-thread lanes must keep
+// everything consistent.
+func TestConcurrentTxStressSameShard(t *testing.T) {
+	h := newTestHeap(t)
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th, err := h.ThreadOn(0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer th.Close()
+			var mine []NVMPtr
+			for i := 0; i < 60; i++ {
+				if i%2 == 0 {
+					p, err := th.TxAlloc(uint64(64+i%256), i%6 == 4)
+					if err != nil && !errors.Is(err, ErrOutOfMemory) {
+						errs <- err
+						return
+					}
+					if err == nil && i%6 == 4 {
+						mine = append(mine, p)
+					}
+				} else {
+					p, err := th.Alloc(uint64(64 + i%256))
+					if err != nil && !errors.Is(err, ErrOutOfMemory) {
+						errs <- err
+						return
+					}
+					if err == nil {
+						mine = append(mine, p)
+					}
+				}
+			}
+			for _, p := range mine {
+				if err := th.Free(p); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	auditHeap(t, h)
+}

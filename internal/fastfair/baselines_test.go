@@ -1,0 +1,79 @@
+package fastfair
+
+import (
+	"math/rand"
+	"testing"
+
+	"poseidon/internal/alloc"
+	"poseidon/internal/makalu"
+	"poseidon/internal/pmdkalloc"
+)
+
+// The Figure 9 substrate must work over every allocator, not just
+// Poseidon: the tree goes through the shared Handle interface only.
+func TestTreeOverBaselines(t *testing.T) {
+	factories := map[string]func(t *testing.T) alloc.Allocator{
+		"pmdk": func(t *testing.T) alloc.Allocator {
+			a, err := pmdkalloc.New(pmdkalloc.Options{Capacity: 64 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		},
+		"makalu": func(t *testing.T) alloc.Allocator {
+			a, err := makalu.New(makalu.Options{Capacity: 64 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		},
+	}
+	for name, factory := range factories {
+		name, factory := name, factory
+		t.Run(name, func(t *testing.T) {
+			a := factory(t)
+			defer a.Close()
+			h, err := a.Thread(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Close()
+			tree, err := New(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 5000
+			rng := rand.New(rand.NewSource(13))
+			for _, k := range rng.Perm(n) {
+				if err := tree.Insert(h, uint64(k)+1, uint64(k)*5); err != nil {
+					t.Fatalf("insert %d: %v", k, err)
+				}
+			}
+			for k := 1; k <= n; k += 101 {
+				v, ok, err := tree.Search(h, uint64(k))
+				if err != nil || !ok {
+					t.Fatalf("search %d: ok=%v err=%v", k, ok, err)
+				}
+				if v != uint64(k-1)*5 {
+					t.Fatalf("value of %d = %d", k, v)
+				}
+			}
+			count := 0
+			prev := uint64(0)
+			err = tree.Scan(h, 0, ^uint64(0), func(k, v uint64) bool {
+				if k <= prev {
+					t.Fatalf("scan order violated: %d after %d", k, prev)
+				}
+				prev = k
+				count++
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if count != n {
+				t.Fatalf("scan visited %d, want %d", count, n)
+			}
+		})
+	}
+}

@@ -1,0 +1,552 @@
+// Package fastfair implements a persistent B+-tree in the style of
+// FAST-FAIR (Hwang et al., FAST '18) — the index the paper's YCSB
+// evaluation (Figure 9) builds on all three allocators. Nodes are 512-byte
+// persistent blocks allocated from the allocator under test; entry shifts
+// persist in key order so a reader never observes a torn node (the FAIR
+// half of the design), and the allocator's own crash consistency covers
+// node allocation.
+//
+// Concurrency: searches and non-splitting inserts/updates run under a
+// shared tree latch plus a striped per-leaf lock; splits take the tree
+// latch exclusively. This preserves the paper's observation that index
+// traversal, not allocation, dominates YCSB — while still letting the
+// allocator's value allocations run in parallel.
+package fastfair
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"poseidon/internal/alloc"
+)
+
+// Node layout (one 512 B block):
+//
+//	+0   nkeys u64
+//	+8   leaf  u64 (1 = leaf)
+//	+16  next  u64 — leaf: right sibling; internal: leftmost child
+//	+24  entries: Degree × (key u64, value u64)
+const (
+	// NodeSize is the persistent size of one tree node.
+	NodeSize = 512
+	// Degree is the entry capacity of a node.
+	Degree = (NodeSize - entryBase) / 16
+
+	offNKeys  = 0
+	offLeaf   = 8
+	offNext   = 16
+	entryBase = 24
+
+	numStripes = 256
+)
+
+// ErrCorrupt reports an inconsistent node.
+var ErrCorrupt = errors.New("fastfair: corrupt node")
+
+// Tree is a persistent B+-tree over an allocator.
+type Tree struct {
+	mu      sync.RWMutex
+	root    alloc.Ptr
+	stripes [numStripes]sync.Mutex
+}
+
+// New creates an empty tree whose root leaf comes from h.
+func New(h alloc.Handle) (*Tree, error) {
+	root, err := newNode(h, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{root: root}, nil
+}
+
+// Root returns the current root block (for persisting in a heap root).
+func (t *Tree) Root() alloc.Ptr {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.root
+}
+
+func newNode(h alloc.Handle, leaf bool) (alloc.Ptr, error) {
+	p, err := h.Alloc(NodeSize)
+	if err != nil {
+		return 0, err
+	}
+	if err := h.WriteU64(p, offNKeys, 0); err != nil {
+		return 0, err
+	}
+	var leafV uint64
+	if leaf {
+		leafV = 1
+	}
+	if err := h.WriteU64(p, offLeaf, leafV); err != nil {
+		return 0, err
+	}
+	if err := h.WriteU64(p, offNext, 0); err != nil {
+		return 0, err
+	}
+	if err := h.Persist(p, 0, entryBase); err != nil {
+		return 0, err
+	}
+	return p, nil
+}
+
+func entryOff(i int) uint64 { return entryBase + uint64(i)*16 }
+
+func readEntry(h alloc.Handle, n alloc.Ptr, i int) (key, val uint64, err error) {
+	key, err = h.ReadU64(n, entryOff(i))
+	if err != nil {
+		return 0, 0, err
+	}
+	val, err = h.ReadU64(n, entryOff(i)+8)
+	return key, val, err
+}
+
+func writeEntry(h alloc.Handle, n alloc.Ptr, i int, key, val uint64) error {
+	if err := h.WriteU64(n, entryOff(i), key); err != nil {
+		return err
+	}
+	return h.WriteU64(n, entryOff(i)+8, val)
+}
+
+func nkeys(h alloc.Handle, n alloc.Ptr) (int, error) {
+	v, err := h.ReadU64(n, offNKeys)
+	if err != nil {
+		return 0, err
+	}
+	if v > Degree {
+		return 0, fmt.Errorf("%w: nkeys %d", ErrCorrupt, v)
+	}
+	return int(v), nil
+}
+
+func isLeaf(h alloc.Handle, n alloc.Ptr) (bool, error) {
+	v, err := h.ReadU64(n, offLeaf)
+	return v == 1, err
+}
+
+// descend walks from the root to the leaf that owns key. It must run under
+// t.mu (shared or exclusive). With path=true it records the internal nodes
+// visited, root first.
+func (t *Tree) descend(h alloc.Handle, key uint64, path bool) (alloc.Ptr, []alloc.Ptr, error) {
+	var trail []alloc.Ptr
+	n := t.root
+	for {
+		leaf, err := isLeaf(h, n)
+		if err != nil {
+			return 0, nil, err
+		}
+		if leaf {
+			return n, trail, nil
+		}
+		if path {
+			trail = append(trail, n)
+		}
+		k, err := nkeys(h, n)
+		if err != nil {
+			return 0, nil, err
+		}
+		next, err := h.ReadU64(n, offNext) // leftmost child
+		if err != nil {
+			return 0, nil, err
+		}
+		child := alloc.Ptr(next)
+		for i := 0; i < k; i++ {
+			ek, ev, err := readEntry(h, n, i)
+			if err != nil {
+				return 0, nil, err
+			}
+			if key < ek {
+				break
+			}
+			child = alloc.Ptr(ev)
+		}
+		if child == 0 {
+			return 0, nil, fmt.Errorf("%w: nil child", ErrCorrupt)
+		}
+		n = child
+	}
+}
+
+// findInLeaf returns the index of key in the leaf, or -1.
+func findInLeaf(h alloc.Handle, leaf alloc.Ptr, key uint64) (int, error) {
+	k, err := nkeys(h, leaf)
+	if err != nil {
+		return -1, err
+	}
+	for i := 0; i < k; i++ {
+		ek, _, err := readEntry(h, leaf, i)
+		if err != nil {
+			return -1, err
+		}
+		if ek == key {
+			return i, nil
+		}
+		if ek > key {
+			return -1, nil
+		}
+	}
+	return -1, nil
+}
+
+// Search returns the value stored under key.
+//
+// The original FAST-FAIR lets readers race with in-leaf shifts, relying on
+// x86's atomic 8-byte loads; the Go memory model does not allow that, so
+// readers take the leaf's stripe lock (internal nodes only change under
+// the exclusive latch, so the descent itself needs no stripe).
+func (t *Tree) Search(h alloc.Handle, key uint64) (uint64, bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf, _, err := t.descend(h, key, false)
+	if err != nil {
+		return 0, false, err
+	}
+	stripe := &t.stripes[uint64(leaf)%numStripes]
+	stripe.Lock()
+	defer stripe.Unlock()
+	i, err := findInLeaf(h, leaf, key)
+	if err != nil || i < 0 {
+		return 0, false, err
+	}
+	_, v, err := readEntry(h, leaf, i)
+	return v, err == nil, err
+}
+
+// Update replaces the value under key, returning the previous value. The
+// 8-byte value store is atomic, so it runs under the shared latch.
+func (t *Tree) Update(h alloc.Handle, key, val uint64) (uint64, bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf, _, err := t.descend(h, key, false)
+	if err != nil {
+		return 0, false, err
+	}
+	stripe := &t.stripes[uint64(leaf)%numStripes]
+	stripe.Lock()
+	defer stripe.Unlock()
+	i, err := findInLeaf(h, leaf, key)
+	if err != nil || i < 0 {
+		return 0, false, err
+	}
+	_, old, err := readEntry(h, leaf, i)
+	if err != nil {
+		return 0, false, err
+	}
+	if err := h.WriteU64(leaf, entryOff(i)+8, val); err != nil {
+		return 0, false, err
+	}
+	if err := h.Persist(leaf, entryOff(i)+8, 8); err != nil {
+		return 0, false, err
+	}
+	return old, true, nil
+}
+
+// Insert stores key→val. Existing keys are overwritten.
+func (t *Tree) Insert(h alloc.Handle, key, val uint64) error {
+	// Fast path: shared latch + leaf stripe; splits cannot happen under
+	// the shared latch, so the descent stays valid.
+	t.mu.RLock()
+	leaf, _, err := t.descend(h, key, false)
+	if err != nil {
+		t.mu.RUnlock()
+		return err
+	}
+	stripe := &t.stripes[uint64(leaf)%numStripes]
+	stripe.Lock()
+	k, err := nkeys(h, leaf)
+	if err == nil && k < Degree {
+		err = insertIntoLeaf(h, leaf, k, key, val)
+		stripe.Unlock()
+		t.mu.RUnlock()
+		return err
+	}
+	stripe.Unlock()
+	t.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	// Slow path: the leaf is full — take the tree exclusively and split.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.insertSlow(h, key, val)
+}
+
+// insertIntoLeaf performs the FAIR in-place sorted insert: entries shift
+// right-to-left with a persist per moved entry, so the node is always a
+// prefix-consistent sorted run. Duplicate keys update in place.
+func insertIntoLeaf(h alloc.Handle, leaf alloc.Ptr, k int, key, val uint64) error {
+	pos := k
+	for i := 0; i < k; i++ {
+		ek, _, err := readEntry(h, leaf, i)
+		if err != nil {
+			return err
+		}
+		if ek == key {
+			if err := h.WriteU64(leaf, entryOff(i)+8, val); err != nil {
+				return err
+			}
+			return h.Persist(leaf, entryOff(i)+8, 8)
+		}
+		if ek > key {
+			pos = i
+			break
+		}
+	}
+	for i := k; i > pos; i-- {
+		pk, pv, err := readEntry(h, leaf, i-1)
+		if err != nil {
+			return err
+		}
+		if err := writeEntry(h, leaf, i, pk, pv); err != nil {
+			return err
+		}
+		if err := h.Persist(leaf, entryOff(i), 16); err != nil {
+			return err
+		}
+	}
+	if err := writeEntry(h, leaf, pos, key, val); err != nil {
+		return err
+	}
+	if err := h.Persist(leaf, entryOff(pos), 16); err != nil {
+		return err
+	}
+	if err := h.WriteU64(leaf, offNKeys, uint64(k+1)); err != nil {
+		return err
+	}
+	return h.Persist(leaf, offNKeys, 8)
+}
+
+// insertSlow runs under the exclusive latch: split every full node on the
+// path, then insert.
+func (t *Tree) insertSlow(h alloc.Handle, key, val uint64) error {
+	leaf, trail, err := t.descend(h, key, true)
+	if err != nil {
+		return err
+	}
+	k, err := nkeys(h, leaf)
+	if err != nil {
+		return err
+	}
+	if k < Degree {
+		return insertIntoLeaf(h, leaf, k, key, val)
+	}
+	// Split the leaf; the separator bubbles up the recorded trail.
+	sepKey, right, err := splitNode(h, leaf)
+	if err != nil {
+		return err
+	}
+	if err := t.promote(h, trail, sepKey, right); err != nil {
+		return err
+	}
+	// Retry the insert into the proper half.
+	target := leaf
+	if key >= sepKey {
+		target = right
+	}
+	k, err = nkeys(h, target)
+	if err != nil {
+		return err
+	}
+	return insertIntoLeaf(h, target, k, key, val)
+}
+
+// splitNode moves the upper half of a full node into a new right sibling
+// and returns the separator key.
+func splitNode(h alloc.Handle, n alloc.Ptr) (uint64, alloc.Ptr, error) {
+	leaf, err := isLeaf(h, n)
+	if err != nil {
+		return 0, 0, err
+	}
+	right, err := newNode(h, leaf)
+	if err != nil {
+		return 0, 0, err
+	}
+	mid := Degree / 2
+	sepKey, sepVal, err := readEntry(h, n, mid)
+	if err != nil {
+		return 0, 0, err
+	}
+	from := mid
+	if !leaf {
+		// Internal split: the separator moves up; its child becomes the
+		// right node's leftmost child.
+		from = mid + 1
+		if err := h.WriteU64(right, offNext, sepVal); err != nil {
+			return 0, 0, err
+		}
+	}
+	j := 0
+	for i := from; i < Degree; i++ {
+		ek, ev, err := readEntry(h, n, i)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := writeEntry(h, right, j, ek, ev); err != nil {
+			return 0, 0, err
+		}
+		j++
+	}
+	if err := h.WriteU64(right, offNKeys, uint64(j)); err != nil {
+		return 0, 0, err
+	}
+	if leaf {
+		// Sibling links: right inherits n's next, n points to right.
+		next, err := h.ReadU64(n, offNext)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := h.WriteU64(right, offNext, next); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := h.Persist(right, 0, NodeSize); err != nil {
+		return 0, 0, err
+	}
+	// Shrink the left node only after the right half is durable.
+	if err := h.WriteU64(n, offNKeys, uint64(mid)); err != nil {
+		return 0, 0, err
+	}
+	if leaf {
+		if err := h.WriteU64(n, offNext, uint64(right)); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := h.Persist(n, 0, entryBase); err != nil {
+		return 0, 0, err
+	}
+	return sepKey, right, nil
+}
+
+// promote inserts the separator into the parent chain, splitting full
+// parents, growing the tree at the root if needed.
+func (t *Tree) promote(h alloc.Handle, trail []alloc.Ptr, sepKey uint64, right alloc.Ptr) error {
+	for i := len(trail) - 1; i >= 0; i-- {
+		parent := trail[i]
+		k, err := nkeys(h, parent)
+		if err != nil {
+			return err
+		}
+		if k < Degree {
+			return insertIntoInternal(h, parent, k, sepKey, right)
+		}
+		// Parent full: split it first.
+		pSep, pRight, err := splitNode(h, parent)
+		if err != nil {
+			return err
+		}
+		// Insert the child separator into the proper half.
+		target := parent
+		if sepKey >= pSep {
+			target = pRight
+		}
+		k, err = nkeys(h, target)
+		if err != nil {
+			return err
+		}
+		if err := insertIntoInternal(h, target, k, sepKey, right); err != nil {
+			return err
+		}
+		// Continue promoting the parent's separator.
+		sepKey, right = pSep, pRight
+	}
+	// Root split: grow the tree.
+	newRoot, err := newNode(h, false)
+	if err != nil {
+		return err
+	}
+	if err := h.WriteU64(newRoot, offNext, uint64(t.root)); err != nil {
+		return err
+	}
+	if err := writeEntry(h, newRoot, 0, sepKey, uint64(right)); err != nil {
+		return err
+	}
+	if err := h.WriteU64(newRoot, offNKeys, 1); err != nil {
+		return err
+	}
+	if err := h.Persist(newRoot, 0, entryBase+16); err != nil {
+		return err
+	}
+	t.root = newRoot
+	return nil
+}
+
+// insertIntoInternal adds (sepKey → child) to an internal node with space.
+func insertIntoInternal(h alloc.Handle, n alloc.Ptr, k int, sepKey uint64, child alloc.Ptr) error {
+	pos := k
+	for i := 0; i < k; i++ {
+		ek, _, err := readEntry(h, n, i)
+		if err != nil {
+			return err
+		}
+		if ek > sepKey {
+			pos = i
+			break
+		}
+	}
+	for i := k; i > pos; i-- {
+		pk, pv, err := readEntry(h, n, i-1)
+		if err != nil {
+			return err
+		}
+		if err := writeEntry(h, n, i, pk, pv); err != nil {
+			return err
+		}
+	}
+	if err := writeEntry(h, n, pos, sepKey, uint64(child)); err != nil {
+		return err
+	}
+	if err := h.WriteU64(n, offNKeys, uint64(k+1)); err != nil {
+		return err
+	}
+	return h.Persist(n, 0, NodeSize)
+}
+
+// Scan visits keys in [from, to) in order, calling fn for each, using the
+// leaf sibling links (range queries, and a structural audit for tests).
+func (t *Tree) Scan(h alloc.Handle, from, to uint64, fn func(key, val uint64) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf, _, err := t.descend(h, from, false)
+	if err != nil {
+		return err
+	}
+	for leaf != 0 {
+		stripe := &t.stripes[uint64(leaf)%numStripes]
+		stripe.Lock()
+		k, err := nkeys(h, leaf)
+		if err != nil {
+			stripe.Unlock()
+			return err
+		}
+		type entry struct{ k, v uint64 }
+		batch := make([]entry, 0, k)
+		for i := 0; i < k; i++ {
+			ek, ev, err := readEntry(h, leaf, i)
+			if err != nil {
+				stripe.Unlock()
+				return err
+			}
+			batch = append(batch, entry{ek, ev})
+		}
+		next, err := h.ReadU64(leaf, offNext)
+		stripe.Unlock()
+		if err != nil {
+			return err
+		}
+		// Invoke the callback outside the stripe lock.
+		for _, e := range batch {
+			if e.k < from {
+				continue
+			}
+			if e.k >= to {
+				return nil
+			}
+			if !fn(e.k, e.v) {
+				return nil
+			}
+		}
+		leaf = alloc.Ptr(next)
+	}
+	return nil
+}

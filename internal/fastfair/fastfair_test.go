@@ -1,0 +1,290 @@
+package fastfair
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"poseidon/internal/alloc"
+	"poseidon/internal/core"
+)
+
+func newTreeHandle(t *testing.T) (alloc.Allocator, *Tree, alloc.Handle) {
+	t.Helper()
+	a, err := alloc.NewPoseidon(core.Options{
+		Subheaps:        4,
+		SubheapUserSize: 16 << 20,
+		SubheapMetaSize: 4 << 20,
+		UndoLogSize:     64 << 10,
+		MaxThreads:      32,
+		HeapID:          9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := a.Thread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := New(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, tree, h
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	a, tree, h := newTreeHandle(t)
+	defer a.Close()
+	defer h.Close()
+	for i := uint64(1); i <= 10; i++ {
+		if err := tree.Insert(h, i*7, i*100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 10; i++ {
+		v, ok, err := tree.Search(h, i*7)
+		if err != nil || !ok {
+			t.Fatalf("Search(%d): ok=%v err=%v", i*7, ok, err)
+		}
+		if v != i*100 {
+			t.Fatalf("Search(%d) = %d, want %d", i*7, v, i*100)
+		}
+	}
+	if _, ok, _ := tree.Search(h, 999999); ok {
+		t.Fatal("ghost key found")
+	}
+}
+
+func TestInsertManySplits(t *testing.T) {
+	a, tree, h := newTreeHandle(t)
+	defer a.Close()
+	defer h.Close()
+	const n = 20000
+	rng := rand.New(rand.NewSource(5))
+	keys := rng.Perm(n)
+	for _, k := range keys {
+		if err := tree.Insert(h, uint64(k)+1, uint64(k)*2+1); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	for _, k := range keys {
+		v, ok, err := tree.Search(h, uint64(k)+1)
+		if err != nil || !ok {
+			t.Fatalf("Search(%d): ok=%v err=%v", k, ok, err)
+		}
+		if v != uint64(k)*2+1 {
+			t.Fatalf("Search(%d) = %d", k, v)
+		}
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	a, tree, h := newTreeHandle(t)
+	defer a.Close()
+	defer h.Close()
+	const n = 5000
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range rng.Perm(n) {
+		if err := tree.Insert(h, uint64(k)+1, uint64(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	err := tree.Scan(h, 0, ^uint64(0), func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("scan visited %d keys, want %d", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("scan out of order at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+	// Bounded scan.
+	count := 0
+	if err := tree.Scan(h, 100, 200, func(k, v uint64) bool {
+		if k < 100 || k >= 200 {
+			t.Fatalf("key %d outside scan bounds", k)
+		}
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("bounded scan visited %d", count)
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	a, tree, h := newTreeHandle(t)
+	defer a.Close()
+	defer h.Close()
+	if err := tree.Insert(h, 42, 1); err != nil {
+		t.Fatal(err)
+	}
+	old, ok, err := tree.Update(h, 42, 2)
+	if err != nil || !ok {
+		t.Fatalf("Update: ok=%v err=%v", ok, err)
+	}
+	if old != 1 {
+		t.Fatalf("old = %d", old)
+	}
+	v, ok, _ := tree.Search(h, 42)
+	if !ok || v != 2 {
+		t.Fatalf("after update: %d, %v", v, ok)
+	}
+	if _, ok, _ := tree.Update(h, 777, 1); ok {
+		t.Fatal("update of missing key succeeded")
+	}
+}
+
+func TestDuplicateInsertOverwrites(t *testing.T) {
+	a, tree, h := newTreeHandle(t)
+	defer a.Close()
+	defer h.Close()
+	for i := 0; i < 3; i++ {
+		if err := tree.Insert(h, 5, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok, _ := tree.Search(h, 5)
+	if !ok || v != 3 {
+		t.Fatalf("value = %d", v)
+	}
+	count := 0
+	if err := tree.Scan(h, 0, ^uint64(0), func(k, v uint64) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("tree holds %d entries after duplicate inserts", count)
+	}
+}
+
+func TestConcurrentInsertSearch(t *testing.T) {
+	a, tree, h := newTreeHandle(t)
+	defer a.Close()
+	defer h.Close()
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wh, err := a.Thread(w)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer wh.Close()
+			for i := 0; i < perWorker; i++ {
+				key := uint64(w*perWorker + i + 1)
+				if err := tree.Insert(wh, key, key*3); err != nil {
+					t.Errorf("worker %d insert %d: %v", w, key, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for k := uint64(1); k <= workers*perWorker; k++ {
+		v, ok, err := tree.Search(h, k)
+		if err != nil || !ok {
+			t.Fatalf("key %d lost after concurrent inserts (ok=%v err=%v)", k, ok, err)
+		}
+		if v != k*3 {
+			t.Fatalf("key %d value %d", k, v)
+		}
+	}
+}
+
+func TestRootChangesOnGrowth(t *testing.T) {
+	a, tree, h := newTreeHandle(t)
+	defer a.Close()
+	defer h.Close()
+	first := tree.Root()
+	if first == 0 {
+		t.Fatal("nil root")
+	}
+	for i := uint64(1); i <= 5000; i++ {
+		if err := tree.Insert(h, i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Root() == first {
+		t.Fatal("root unchanged despite splits")
+	}
+}
+
+// Readers run concurrently with inserting writers; every value read must
+// be one the writers actually stored (torn reads would show as garbage).
+func TestConcurrentReadersDuringInserts(t *testing.T) {
+	a, tree, h := newTreeHandle(t)
+	defer a.Close()
+	defer h.Close()
+	const writers, perWriter, readers = 4, 3000, 3
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rh, err := a.Thread(r)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer rh.Close()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := uint64(rng.Intn(writers*perWriter) + 1)
+				v, ok, err := tree.Search(rh, key)
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				if ok && v != key*3 {
+					t.Errorf("reader %d: key %d has torn value %d", r, key, v)
+					return
+				}
+			}
+		}(r)
+	}
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			wh, err := a.Thread(w)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer wh.Close()
+			for i := 0; i < perWriter; i++ {
+				key := uint64(w*perWriter + i + 1)
+				if err := tree.Insert(wh, key, key*3); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+}

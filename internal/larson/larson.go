@@ -1,0 +1,146 @@
+// Package larson implements the Larson server benchmark (Figure 7): many
+// threads continuously replace objects in a shared slot array with
+// randomly sized new ones. Slot partitions rotate between rounds, so a
+// thread frequently frees memory another thread allocated — the
+// cross-thread free pattern of a real server.
+package larson
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"poseidon/internal/alloc"
+)
+
+// Config parameterises a run.
+type Config struct {
+	// Threads is the worker count.
+	Threads int
+	// SlotsPerThread is the shared-array partition size (default 256).
+	SlotsPerThread int
+	// MinSize and MaxSize bound the random object sizes (default 8–512,
+	// mirroring the original benchmark's small-object mix).
+	MinSize, MaxSize uint64
+	// RoundOps is how many replacements each thread performs per round
+	// before partitions rotate (default 512).
+	RoundOps int
+	// Rounds is the number of rotation rounds (default 8). Total work is
+	// Threads × Rounds × RoundOps replacements.
+	Rounds int
+	// Seed drives the random sizes and slot choices.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.SlotsPerThread == 0 {
+		c.SlotsPerThread = 256
+	}
+	if c.MinSize == 0 {
+		c.MinSize = 8
+	}
+	if c.MaxSize == 0 {
+		c.MaxSize = 512
+	}
+	if c.RoundOps == 0 {
+		c.RoundOps = 512
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 8
+	}
+	return c
+}
+
+// Result reports a run's aggregate throughput. Ops counts allocations and
+// frees separately (a replacement is two operations), matching the paper's
+// operations/second axis.
+type Result struct {
+	Ops      uint64
+	Duration time.Duration
+}
+
+// OpsPerSec returns the throughput.
+func (r Result) OpsPerSec() float64 { return float64(r.Ops) / r.Duration.Seconds() }
+
+// Run executes the benchmark on the allocator.
+func Run(a alloc.Allocator, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	handles := make([]alloc.Handle, cfg.Threads)
+	for i := range handles {
+		h, err := a.Thread(i)
+		if err != nil {
+			return Result{}, err
+		}
+		handles[i] = h
+	}
+	defer func() {
+		for _, h := range handles {
+			h.Close()
+		}
+	}()
+
+	slots := make([]alloc.Ptr, cfg.Threads*cfg.SlotsPerThread)
+	var (
+		total   uint64
+		totalMu sync.Mutex
+		start   = time.Now()
+	)
+	for round := 0; round < cfg.Rounds; round++ {
+		var (
+			wg       sync.WaitGroup
+			errMu    sync.Mutex
+			firstErr error
+		)
+		for w := 0; w < cfg.Threads; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Rotation: thread w works on the partition thread
+				// (w+round) filled last round — cross-thread frees.
+				part := (w + round) % cfg.Threads
+				base := part * cfg.SlotsPerThread
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(round*cfg.Threads+w)))
+				h := handles[w]
+				ops := uint64(0)
+				for i := 0; i < cfg.RoundOps; i++ {
+					k := base + rng.Intn(cfg.SlotsPerThread)
+					if slots[k] != 0 {
+						if err := h.Free(slots[k]); err != nil {
+							errMu.Lock()
+							if firstErr == nil {
+								firstErr = err
+							}
+							errMu.Unlock()
+							return
+						}
+						slots[k] = 0
+						ops++
+					}
+					size := cfg.MinSize + uint64(rng.Int63n(int64(cfg.MaxSize-cfg.MinSize+1)))
+					p, err := h.Alloc(size)
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+					slots[k] = p
+					ops++
+				}
+				totalMu.Lock()
+				total += ops
+				totalMu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return Result{}, firstErr
+		}
+	}
+	return Result{Ops: total, Duration: time.Since(start)}, nil
+}

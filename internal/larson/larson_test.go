@@ -1,0 +1,83 @@
+package larson
+
+import (
+	"testing"
+
+	"poseidon/internal/alloc"
+	"poseidon/internal/benchutil"
+)
+
+func run(t *testing.T, name string, threads int) Result {
+	t.Helper()
+	a, err := benchutil.NewAllocator(name, benchutil.Config{Threads: threads, HeapBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	res, err := Run(a, Config{
+		Threads:        threads,
+		SlotsPerThread: 64,
+		RoundOps:       200,
+		Rounds:         4,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return res
+}
+
+func TestLarsonAllAllocators(t *testing.T) {
+	for _, name := range benchutil.AllocatorNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res := run(t, name, 4)
+			if res.Ops == 0 {
+				t.Fatal("no operations recorded")
+			}
+			if res.OpsPerSec() <= 0 {
+				t.Fatal("non-positive throughput")
+			}
+		})
+	}
+}
+
+func TestLarsonSingleThread(t *testing.T) {
+	res := run(t, "poseidon", 1)
+	// 4 rounds × 200 replacements; each is 1 alloc + ~1 free.
+	if res.Ops < 800 {
+		t.Fatalf("ops = %d, want ≥ 800", res.Ops)
+	}
+}
+
+func TestLarsonDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Threads != 1 || cfg.SlotsPerThread == 0 || cfg.MaxSize <= cfg.MinSize {
+		t.Fatalf("bad defaults: %+v", cfg)
+	}
+}
+
+// Cross-thread frees must actually happen: with rotation, a second-round
+// worker frees blocks the first-round owner allocated.
+func TestLarsonCrossThreadFrees(t *testing.T) {
+	a, err := benchutil.NewAllocator("poseidon", benchutil.Config{Threads: 2, HeapBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	res, err := Run(a, Config{Threads: 2, SlotsPerThread: 32, RoundOps: 100, Rounds: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no ops")
+	}
+	pa, ok := a.(*alloc.Poseidon)
+	if !ok {
+		t.Fatal("not poseidon")
+	}
+	st := pa.Heap().Stats()
+	if st.Frees == 0 {
+		t.Fatal("no frees recorded")
+	}
+}

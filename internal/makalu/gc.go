@@ -1,0 +1,103 @@
+package makalu
+
+import "poseidon/internal/alloc"
+
+// GC performs Makalu's conservative mark-and-sweep reclamation: every
+// allocated block reachable from the roots (by scanning block contents for
+// word values that decode to valid block addresses) is kept; everything
+// else is swept back to the free lists. This is Makalu's substitute for
+// logging-based leak prevention (§2.2).
+//
+// The paper's criticism is directly observable here: if a program bug
+// corrupts a pointer stored inside an object, every object reachable only
+// through that pointer is unreachable to the GC and leaks permanently.
+//
+// GC requires quiescence: no concurrent allocator operations.
+func (h *Heap) GC(roots []alloc.Ptr) (freed uint64, err error) {
+	// Enumerate allocated blocks: slot offset -> user size.
+	allocated := map[uint64]uint64{}
+	for p := uint64(0); p < h.npages; p++ {
+		state, payload, err := h.pageState(p)
+		if err != nil {
+			return 0, err
+		}
+		switch state {
+		case pageSmall, pageMedium:
+			class := int(payload)
+			stride, block := slotStride(class), classBlock(class)
+			if state == pageMedium {
+				stride, block = mediumStride(class), mediumBlock(class)
+			}
+			n := uint64(pageSize) / stride
+			for i := uint64(0); i < n; i++ {
+				slot := h.pageOff(p) + i*stride
+				status, err := h.dev.ReadU64(slot + 8)
+				if err != nil {
+					return 0, err
+				}
+				if status == statusAllocated {
+					allocated[slot] = block
+				}
+			}
+		case pageLargeHead:
+			slot := h.pageOff(p)
+			status, err := h.dev.ReadU64(slot + 8)
+			if err != nil {
+				return 0, err
+			}
+			if status == statusAllocated {
+				size, err := h.dev.ReadU64(slot)
+				if err != nil {
+					return 0, err
+				}
+				allocated[slot] = size
+			}
+		}
+	}
+
+	// Mark: conservative scan of reachable block contents.
+	marked := map[uint64]bool{}
+	var queue []uint64
+	push := func(userOff uint64) {
+		slot, ok := h.blockFromOffset(userOff)
+		if !ok {
+			return
+		}
+		if _, isAlloc := allocated[slot]; !isAlloc || marked[slot] {
+			return
+		}
+		marked[slot] = true
+		queue = append(queue, slot)
+	}
+	for _, r := range roots {
+		push(uint64(r))
+	}
+	for len(queue) > 0 {
+		slot := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		size := allocated[slot]
+		for off := uint64(0); off+8 <= size; off += 8 {
+			v, err := h.dev.ReadU64(slot + HeaderSize + off)
+			if err != nil {
+				return 0, err
+			}
+			push(v)
+		}
+	}
+
+	// Sweep: free unmarked blocks through a scratch handle (small blocks
+	// land on the reclaim lists via its Close spill).
+	scratch := &handle{h: h}
+	for slot := range allocated {
+		if marked[slot] {
+			continue
+		}
+		if err := scratch.Free(alloc.Ptr(slot + HeaderSize)); err != nil {
+			return freed, err
+		}
+		freed++
+	}
+	scratch.Close()
+	h.stats.GCFreed.Add(freed)
+	return freed, nil
+}

@@ -1,0 +1,141 @@
+package makalu
+
+import "poseidon/internal/alloc"
+
+// handle carries the thread-local free lists — Makalu's fast path for
+// allocations under 400 bytes.
+type handle struct {
+	h     *Heap
+	local [numSmallClasses][]uint64 // slot offsets
+}
+
+var _ alloc.Handle = (*handle)(nil)
+
+// Alloc implements alloc.Handle.
+func (t *handle) Alloc(size uint64) (alloc.Ptr, error) {
+	if size == 0 {
+		size = 1
+	}
+	class := classOf(size)
+	if class < 0 {
+		var off uint64
+		var err error
+		if mc := mediumClassOf(size); mc >= 0 {
+			off, err = t.h.allocMedium(mc, size)
+		} else {
+			off, err = t.h.allocLarge(size)
+		}
+		if err != nil {
+			return 0, err
+		}
+		return alloc.Ptr(off), nil
+	}
+	fl := &t.local[class]
+	if len(*fl) == 0 {
+		if err := t.refill(class); err != nil {
+			return 0, err
+		}
+	}
+	slot := (*fl)[len(*fl)-1]
+	*fl = (*fl)[:len(*fl)-1]
+	if err := t.h.writeObjHeader(slot, classBlock(class), statusAllocated); err != nil {
+		return 0, err
+	}
+	return alloc.Ptr(slot + HeaderSize), nil
+}
+
+// refill takes blocks from the global reclaim list, or carves a fresh page
+// — both under the global lock (§2.2).
+func (t *handle) refill(class int) error {
+	t.h.globalMu.Lock()
+	defer t.h.globalMu.Unlock()
+	if rl := t.h.reclaim[class]; len(rl) > 0 {
+		n := len(rl)
+		if n > spillKeep {
+			n = spillKeep
+		}
+		t.local[class] = append(t.local[class], rl[len(rl)-n:]...)
+		t.h.reclaim[class] = rl[:len(rl)-n]
+		t.h.stats.ReclaimGrabs.Add(1)
+		return nil
+	}
+	slots, err := t.h.carvePageLocked(class)
+	if err != nil {
+		return err
+	}
+	t.local[class] = append(t.local[class], slots...)
+	return nil
+}
+
+// Free implements alloc.Handle. The in-place header size is trusted —
+// Makalu shares PMDK's vulnerability class. Freed small blocks join this
+// thread's local list; lists over the spill threshold return half their
+// blocks to the global reclaim list under the global lock.
+func (t *handle) Free(p alloc.Ptr) error {
+	slot := uint64(p) - HeaderSize
+	size, err := t.h.dev.ReadU64(slot)
+	if err != nil {
+		return err
+	}
+	class := classOf(size)
+	if class < 0 {
+		if mc := mediumClassOf(size); mc >= 0 {
+			return t.h.freeMedium(slot, size, mc)
+		}
+		return t.h.freeLarge(slot, size)
+	}
+	if err := t.h.writeObjHeader(slot, size, statusFree); err != nil {
+		return err
+	}
+	fl := &t.local[class]
+	*fl = append(*fl, slot)
+	if len(*fl) > spillAt {
+		spill := (*fl)[spillKeep:]
+		*fl = (*fl)[:spillKeep:spillKeep]
+		t.h.globalMu.Lock()
+		t.h.reclaim[class] = append(t.h.reclaim[class], spill...)
+		t.h.globalMu.Unlock()
+		t.h.stats.ReclaimSpills.Add(1)
+	}
+	return nil
+}
+
+// Write implements alloc.Handle (direct store; no isolation).
+func (t *handle) Write(p alloc.Ptr, off uint64, b []byte) error {
+	return t.h.dev.Write(uint64(p)+off, b)
+}
+
+// Read implements alloc.Handle.
+func (t *handle) Read(p alloc.Ptr, off uint64, b []byte) error {
+	return t.h.dev.Read(uint64(p)+off, b)
+}
+
+// WriteU64 implements alloc.Handle.
+func (t *handle) WriteU64(p alloc.Ptr, off uint64, v uint64) error {
+	return t.h.dev.WriteU64(uint64(p)+off, v)
+}
+
+// ReadU64 implements alloc.Handle.
+func (t *handle) ReadU64(p alloc.Ptr, off uint64) (uint64, error) {
+	return t.h.dev.ReadU64(uint64(p) + off)
+}
+
+// Persist implements alloc.Handle.
+func (t *handle) Persist(p alloc.Ptr, off, n uint64) error {
+	if err := t.h.dev.Flush(uint64(p)+off, n); err != nil {
+		return err
+	}
+	t.h.dev.Fence()
+	return nil
+}
+
+// Close implements alloc.Handle: remaining local blocks spill to the
+// global reclaim list so other threads can reuse them.
+func (t *handle) Close() {
+	t.h.globalMu.Lock()
+	for class := range t.local {
+		t.h.reclaim[class] = append(t.h.reclaim[class], t.local[class]...)
+		t.local[class] = nil
+	}
+	t.h.globalMu.Unlock()
+}

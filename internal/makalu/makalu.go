@@ -1,0 +1,419 @@
+// Package makalu is a design-faithful reproduction of Makalu (Bhandari et
+// al., OOPSLA '16), the paper's second baseline. It reproduces the
+// mechanisms the paper measures and criticises (§2.2, §7.2):
+//
+//   - Allocations under 400 bytes come from thread-local free lists;
+//     overflowing lists spill half their blocks to a global reclaim list,
+//     and empty lists refill from it — both under one global lock.
+//   - Allocations of 400 bytes and above are served from a global chunk
+//     list under a single global lock (the ≥400 B scalability cliff in
+//     Figure 6).
+//   - Crash consistency comes from conservative mark-and-sweep garbage
+//     collection over the persistent heap rather than logging — cheap in
+//     the common case (fewer persists per op than logging allocators) but
+//     vulnerable: a corrupted pointer hides every object reachable only
+//     through it, leaking them permanently (§2.2).
+//
+// In-place 16-byte object headers (size, status) precede every block; like
+// PMDK there is no metadata isolation.
+package makalu
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"poseidon/internal/alloc"
+	"poseidon/internal/nvm"
+)
+
+const (
+	// HeaderSize is the in-place object header: [size u64][status u64].
+	HeaderSize = 16
+
+	// LocalThreshold is the 400 B boundary between thread-local and
+	// global allocation paths.
+	LocalThreshold = 400
+
+	granule = 16
+	// Small classes are 16 B … 384 B so that every small block size stays
+	// strictly under the 400 B threshold (the free path dispatches on the
+	// header size, which must round-trip to the same path).
+	numSmallClasses = LocalThreshold/granule - 1
+
+	pageSize        = 4096
+	statusAllocated = 1
+	statusFree      = 0
+
+	// Page-table states (low byte), payload in the high bits.
+	pageFree      = 0
+	pageSmall     = 1 // payload = class
+	pageLargeHead = 2 // payload = run length in pages
+	pageLargeCont = 3
+	pageMedium    = 4 // payload = medium class
+
+	// Medium classes (512 B, 1 KiB, 2 KiB) model the fine granularity of
+	// Makalu's global chunk list for objects just over the 400 B
+	// threshold: still served under the global lock (the scalability
+	// cliff), but without rounding every 500 B object to a whole page.
+	numMediumClasses = 3
+	mediumMax        = 2048
+
+	// spillAt/spillKeep: a local list longer than spillAt returns its
+	// excess to the global reclaim list — the global-locking behaviour the
+	// paper blames for Makalu's small-allocation scalability loss (§7.2:
+	// visible even at 100 allocs + 100 frees of 256 B). Makalu's local
+	// caches are small, so the thresholds sit just above one page's worth
+	// of blocks.
+	spillAt   = 24
+	spillKeep = 8
+
+	heapMagic = 0x554c414b414d // "MAKALU"
+	hdrPage   = 4096
+)
+
+// Options configures the baseline heap.
+type Options struct {
+	// Capacity is the page-area size in bytes (rounded to whole pages).
+	// Default 512 MiB.
+	Capacity uint64
+	// DeviceStats enables flush counters on the device.
+	DeviceStats bool
+}
+
+// Heap is a Makalu-like persistent heap.
+type Heap struct {
+	dev      *nvm.Device
+	npages   uint64
+	pageBase uint64
+
+	// globalMu guards the free-page spans, the global chunk list and the
+	// reclaim lists — Makalu's global metadata (§2.2).
+	globalMu   sync.Mutex
+	spans      []span                     // free page runs, sorted by start
+	reclaim    [numSmallClasses][]uint64  // global reclaim lists (slot offsets)
+	mediumFree [numMediumClasses][]uint64 // global chunk-list slots (400 B–2 KiB)
+
+	stats  Stats
+	closed atomic.Bool
+}
+
+type span struct{ start, length uint64 }
+
+// Stats counts the baseline's characteristic events.
+type Stats struct {
+	ReclaimSpills atomic.Uint64 // local→global spills (global lock)
+	ReclaimGrabs  atomic.Uint64 // global→local refills (global lock)
+	PageCarves    atomic.Uint64
+	LargeAllocs   atomic.Uint64
+	LargeFrees    atomic.Uint64
+	GCFreed       atomic.Uint64
+}
+
+var _ alloc.Allocator = (*Heap)(nil)
+
+func classOf(size uint64) int {
+	if size == 0 {
+		size = 1
+	}
+	if size > uint64(numSmallClasses)*granule {
+		return -1
+	}
+	return int((size+granule-1)/granule) - 1 // 0-based: 16 B is class 0
+}
+
+func classBlock(class int) uint64 { return uint64(class+1) * granule }
+
+func slotStride(class int) uint64 { return classBlock(class) + HeaderSize }
+
+// mediumClassOf returns the medium class for size, or -1 when the size
+// belongs to the small or large path.
+func mediumClassOf(size uint64) int {
+	if size <= uint64(numSmallClasses)*granule || size > mediumMax {
+		return -1
+	}
+	switch {
+	case size <= 512:
+		return 0
+	case size <= 1024:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func mediumBlock(class int) uint64 { return 512 << uint(class) }
+
+func mediumStride(class int) uint64 { return mediumBlock(class) + HeaderSize }
+
+// New creates a fresh Makalu-like heap.
+func New(opts Options) (*Heap, error) {
+	if opts.Capacity == 0 {
+		opts.Capacity = 512 << 20
+	}
+	npages := opts.Capacity / pageSize
+	if npages == 0 {
+		return nil, errors.New("makalu: capacity below one page")
+	}
+	ptBytes := (npages*8 + nvm.PageSize - 1) &^ (nvm.PageSize - 1)
+	pageBase := uint64(hdrPage) + ptBytes
+	dev, err := nvm.NewDevice(nvm.Options{
+		Capacity: pageBase + npages*pageSize,
+		Stats:    opts.DeviceStats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := &Heap{dev: dev, npages: npages, pageBase: pageBase}
+	if err := dev.PersistU64(0, heapMagic); err != nil {
+		return nil, err
+	}
+	h.spans = []span{{start: 0, length: npages}}
+	return h, nil
+}
+
+// Name implements alloc.Allocator.
+func (h *Heap) Name() string { return "makalu" }
+
+// Shards implements alloc.Allocator: Makalu's only parallelism is its
+// thread-local lists, so the heap itself has a single shard.
+func (h *Heap) Shards() int { return 1 }
+
+// Device exposes the device for corruption demos.
+func (h *Heap) Device() *nvm.Device { return h.dev }
+
+// StatsSnapshot returns characteristic-event counters.
+func (h *Heap) StatsSnapshot() (spills, grabs, carves, large, gcFreed uint64) {
+	return h.stats.ReclaimSpills.Load(), h.stats.ReclaimGrabs.Load(),
+		h.stats.PageCarves.Load(),
+		h.stats.LargeAllocs.Load() + h.stats.LargeFrees.Load(),
+		h.stats.GCFreed.Load()
+}
+
+// Close implements alloc.Allocator.
+func (h *Heap) Close() error {
+	h.closed.Store(true)
+	return nil
+}
+
+// Thread implements alloc.Allocator.
+func (h *Heap) Thread(int) (alloc.Handle, error) {
+	if h.closed.Load() {
+		return nil, errors.New("makalu: heap closed")
+	}
+	return &handle{h: h}, nil
+}
+
+func (h *Heap) pageTableOff(p uint64) uint64 { return hdrPage + p*8 }
+func (h *Heap) pageOff(p uint64) uint64      { return h.pageBase + p*pageSize }
+
+func (h *Heap) setPageState(p uint64, state, payload uint64) error {
+	return h.dev.PersistU64(h.pageTableOff(p), state|payload<<8)
+}
+
+func (h *Heap) pageState(p uint64) (state, payload uint64, err error) {
+	v, err := h.dev.ReadU64(h.pageTableOff(p))
+	if err != nil {
+		return 0, 0, err
+	}
+	return v & 0xFF, v >> 8, nil
+}
+
+// takeSpan removes npages from the free spans (caller holds globalMu).
+func (h *Heap) takeSpanLocked(npages uint64) (uint64, bool) {
+	for i, s := range h.spans {
+		if s.length >= npages {
+			start := s.start
+			if s.length == npages {
+				h.spans = append(h.spans[:i], h.spans[i+1:]...)
+			} else {
+				h.spans[i] = span{start: s.start + npages, length: s.length - npages}
+			}
+			return start, true
+		}
+	}
+	return 0, false
+}
+
+// putSpanLocked returns a run to the free spans with coalescing (caller
+// holds globalMu).
+func (h *Heap) putSpanLocked(s span) {
+	i := sort.Search(len(h.spans), func(i int) bool { return h.spans[i].start >= s.start })
+	h.spans = append(h.spans, span{})
+	copy(h.spans[i+1:], h.spans[i:])
+	h.spans[i] = s
+	// Merge with the right neighbour, then the left.
+	if i+1 < len(h.spans) && h.spans[i].start+h.spans[i].length == h.spans[i+1].start {
+		h.spans[i].length += h.spans[i+1].length
+		h.spans = append(h.spans[:i+1], h.spans[i+2:]...)
+	}
+	if i > 0 && h.spans[i-1].start+h.spans[i-1].length == h.spans[i].start {
+		h.spans[i-1].length += h.spans[i].length
+		h.spans = append(h.spans[:i], h.spans[i+1:]...)
+	}
+}
+
+// carvePage claims one page for a small class and returns its slot offsets
+// (caller holds globalMu).
+func (h *Heap) carvePageLocked(class int) ([]uint64, error) {
+	start, ok := h.takeSpanLocked(1)
+	if !ok {
+		return nil, alloc.ErrOutOfMemory
+	}
+	h.stats.PageCarves.Add(1)
+	if err := h.setPageState(start, pageSmall, uint64(class)); err != nil {
+		return nil, err
+	}
+	stride := slotStride(class)
+	n := uint64(pageSize) / stride
+	slots := make([]uint64, 0, n)
+	base := h.pageOff(start)
+	for i := uint64(0); i < n; i++ {
+		slots = append(slots, base+i*stride)
+	}
+	return slots, nil
+}
+
+// writeObjHeader persists the in-place object header.
+func (h *Heap) writeObjHeader(slot, size, status uint64) error {
+	if err := h.dev.WriteU64(slot, size); err != nil {
+		return err
+	}
+	if err := h.dev.WriteU64(slot+8, status); err != nil {
+		return err
+	}
+	if err := h.dev.Flush(slot, HeaderSize); err != nil {
+		return err
+	}
+	h.dev.Fence()
+	return nil
+}
+
+// allocMedium serves 400 B–2 KiB from the global chunk list: per-class
+// slot lists refilled by carving pages, all under the global lock (§2.2's
+// "global chunk list for allocations greater than 400 bytes").
+func (h *Heap) allocMedium(class int, size uint64) (uint64, error) {
+	h.globalMu.Lock()
+	fl := &h.mediumFree[class]
+	if len(*fl) == 0 {
+		start, ok := h.takeSpanLocked(1)
+		if !ok {
+			h.globalMu.Unlock()
+			return 0, alloc.ErrOutOfMemory
+		}
+		h.stats.PageCarves.Add(1)
+		if err := h.setPageState(start, pageMedium, uint64(class)); err != nil {
+			h.globalMu.Unlock()
+			return 0, err
+		}
+		stride := mediumStride(class)
+		for i := uint64(0); i < uint64(pageSize)/stride; i++ {
+			*fl = append(*fl, h.pageOff(start)+i*stride)
+		}
+	}
+	slot := (*fl)[len(*fl)-1]
+	*fl = (*fl)[:len(*fl)-1]
+	h.globalMu.Unlock()
+	h.stats.LargeAllocs.Add(1) // global-chunk-list path, like large runs
+	if err := h.writeObjHeader(slot, mediumBlock(class), statusAllocated); err != nil {
+		return 0, err
+	}
+	return slot + HeaderSize, nil
+}
+
+// freeMedium returns a medium slot to its global class list.
+func (h *Heap) freeMedium(slot, size uint64, class int) error {
+	if err := h.writeObjHeader(slot, size, statusFree); err != nil {
+		return err
+	}
+	h.globalMu.Lock()
+	h.mediumFree[class] = append(h.mediumFree[class], slot)
+	h.globalMu.Unlock()
+	h.stats.LargeFrees.Add(1)
+	return nil
+}
+
+// allocLarge serves > 2 KiB as page runs from the global chunk list.
+func (h *Heap) allocLarge(size uint64) (uint64, error) {
+	npages := (size + HeaderSize + pageSize - 1) / pageSize
+	h.globalMu.Lock()
+	start, ok := h.takeSpanLocked(npages)
+	h.globalMu.Unlock()
+	if !ok {
+		return 0, alloc.ErrOutOfMemory
+	}
+	h.stats.LargeAllocs.Add(1)
+	if err := h.setPageState(start, pageLargeHead, npages); err != nil {
+		return 0, err
+	}
+	for p := start + 1; p < start+npages; p++ {
+		if err := h.setPageState(p, pageLargeCont, 0); err != nil {
+			return 0, err
+		}
+	}
+	slot := h.pageOff(start)
+	if err := h.writeObjHeader(slot, size, statusAllocated); err != nil {
+		return 0, err
+	}
+	return slot + HeaderSize, nil
+}
+
+// freeLarge returns a page run to the global chunk list. The size comes
+// from the (trusted) in-place header.
+func (h *Heap) freeLarge(slot, size uint64) error {
+	start := (slot - h.pageBase) / pageSize
+	npages := (size + HeaderSize + pageSize - 1) / pageSize
+	if start+npages > h.npages {
+		npages = h.npages - start
+	}
+	if err := h.writeObjHeader(slot, size, statusFree); err != nil {
+		return err
+	}
+	for p := start; p < start+npages; p++ {
+		if err := h.setPageState(p, pageFree, 0); err != nil {
+			return err
+		}
+	}
+	h.globalMu.Lock()
+	h.putSpanLocked(span{start: start, length: npages})
+	h.globalMu.Unlock()
+	h.stats.LargeFrees.Add(1)
+	return nil
+}
+
+// blockFromOffset validates that off is a plausible user offset of an
+// allocated block and returns its slot. Used by the conservative GC scan.
+func (h *Heap) blockFromOffset(off uint64) (uint64, bool) {
+	if off < h.pageBase+HeaderSize || off >= h.pageBase+h.npages*pageSize {
+		return 0, false
+	}
+	page := (off - h.pageBase) / pageSize
+	state, payload, err := h.pageState(page)
+	if err != nil {
+		return 0, false
+	}
+	switch state {
+	case pageSmall, pageMedium:
+		class := int(payload)
+		stride := slotStride(class)
+		if state == pageMedium {
+			stride = mediumStride(class)
+		}
+		in := off - h.pageOff(page)
+		if in < HeaderSize || (in-HeaderSize)%stride != 0 {
+			return 0, false
+		}
+		return h.pageOff(page) + (in - HeaderSize), true
+	case pageLargeHead:
+		if off != h.pageOff(page)+HeaderSize {
+			return 0, false
+		}
+		return h.pageOff(page), true
+	default:
+		return 0, false
+	}
+}
+
+func (h *Heap) fmtPtr(p alloc.Ptr) string { return fmt.Sprintf("%#x", uint64(p)) }

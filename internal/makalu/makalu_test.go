@@ -1,0 +1,376 @@
+package makalu
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"poseidon/internal/alloc"
+)
+
+func newTestHeap(t *testing.T, capacity uint64) *Heap {
+	t.Helper()
+	h, err := New(Options{Capacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestClassOf(t *testing.T) {
+	tests := []struct {
+		size uint64
+		want int
+	}{
+		{1, 0}, {16, 0}, {17, 1}, {384, 23}, {385, -1}, {400, -1}, {4096, -1},
+	}
+	for _, tt := range tests {
+		if got := classOf(tt.size); got != tt.want {
+			t.Errorf("classOf(%d) = %d, want %d", tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestSmallAllocFreeRoundTrip(t *testing.T) {
+	h := newTestHeap(t, 8<<20)
+	th, err := h.Thread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Close()
+	p, err := th.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("makalu data")
+	if err := th.Write(p, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Persist(p, 0, uint64(len(want))); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := th.Read(p, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("data mismatch")
+	}
+	if err := th.Free(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeAllocUsesGlobalPath(t *testing.T) {
+	h := newTestHeap(t, 8<<20)
+	th, _ := h.Thread(0)
+	defer th.Close()
+	p, err := th.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.WriteU64(p, 4088, 5); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, large, _ := h.StatsSnapshot()
+	if large != 1 {
+		t.Fatalf("large allocs = %d", large)
+	}
+	if err := th.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	// Freed pages coalesce back: the whole heap is allocatable again.
+	if _, err := th.Alloc(4 << 20); err != nil {
+		t.Fatalf("large realloc: %v", err)
+	}
+}
+
+func TestDistinctPointers(t *testing.T) {
+	h := newTestHeap(t, 8<<20)
+	th, _ := h.Thread(0)
+	defer th.Close()
+	seen := map[alloc.Ptr]bool{}
+	for i := 0; i < 2000; i++ {
+		p, err := th.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[p] {
+			t.Fatalf("pointer %s handed out twice", h.fmtPtr(p))
+		}
+		seen[p] = true
+	}
+}
+
+func TestSpillAndRefillViaReclaimList(t *testing.T) {
+	h := newTestHeap(t, 8<<20)
+	t1, _ := h.Thread(0)
+	// Allocate and free enough to overflow the local list.
+	var ptrs []alloc.Ptr
+	for i := 0; i < spillAt*3; i++ {
+		p, err := t1.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		if err := t1.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spills, _, _, _, _ := h.StatsSnapshot()
+	if spills == 0 {
+		t.Fatal("no spill to the global reclaim list")
+	}
+	t1.Close()
+	// A different thread refills from the reclaim list, not a fresh page.
+	t2, _ := h.Thread(1)
+	defer t2.Close()
+	_, _, carvesBefore, _, _ := h.StatsSnapshot()
+	if _, err := t2.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+	_, grabs, carvesAfter, _, _ := h.StatsSnapshot()
+	if grabs == 0 {
+		t.Fatal("refill did not use the reclaim list")
+	}
+	if carvesAfter != carvesBefore {
+		t.Fatal("refill carved a new page despite reclaim availability")
+	}
+}
+
+func TestExhaustionLarge(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	th, _ := h.Thread(0)
+	defer th.Close()
+	n := 0
+	for {
+		_, err := th.Alloc(64 << 10)
+		if errors.Is(err, alloc.ErrOutOfMemory) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n > 64 {
+			t.Fatal("never exhausted")
+		}
+	}
+	if n == 0 {
+		t.Fatal("nothing allocated")
+	}
+}
+
+func TestConcurrentMixedSizes(t *testing.T) {
+	h := newTestHeap(t, 64<<20)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th, err := h.Thread(w)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer th.Close()
+			var live []alloc.Ptr
+			for i := 0; i < 400; i++ {
+				size := uint64(16 + (i*w+i)%1024)
+				p, err := th.Alloc(size)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				live = append(live, p)
+				if len(live) > 16 {
+					if err := th.Free(live[0]); err != nil {
+						t.Errorf("worker %d free: %v", w, err)
+						return
+					}
+					live = live[1:]
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// buildList allocates a linked list of n nodes, each holding a pointer to
+// the next in its first word, returning the head.
+func buildList(t *testing.T, th alloc.Handle, n int) []alloc.Ptr {
+	t.Helper()
+	nodes := make([]alloc.Ptr, n)
+	for i := range nodes {
+		p, err := th.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = p
+	}
+	for i := 0; i < n-1; i++ {
+		if err := th.WriteU64(nodes[i], 0, uint64(nodes[i+1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nodes
+}
+
+func TestGCKeepsReachable(t *testing.T) {
+	h := newTestHeap(t, 8<<20)
+	th, _ := h.Thread(0)
+	defer th.Close()
+	nodes := buildList(t, th, 10)
+	freed, err := h.GC([]alloc.Ptr{nodes[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed != 0 {
+		t.Fatalf("GC freed %d reachable blocks", freed)
+	}
+}
+
+func TestGCSweepsUnreachable(t *testing.T) {
+	h := newTestHeap(t, 8<<20)
+	th, _ := h.Thread(0)
+	defer th.Close()
+	nodes := buildList(t, th, 10)
+	// No roots: everything is garbage.
+	freed, err := h.GC(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed != uint64(len(nodes)) {
+		t.Fatalf("GC freed %d, want %d", freed, len(nodes))
+	}
+}
+
+// TestGCLeaksBehindCorruptedPointer demonstrates the paper's §2.2
+// criticism: corrupt one pointer inside a reachable object and every
+// object behind it becomes invisible to reachability-based recovery — and
+// is then swept as garbage even though the application still expects it.
+func TestGCLeaksBehindCorruptedPointer(t *testing.T) {
+	h := newTestHeap(t, 8<<20)
+	th, _ := h.Thread(0)
+	defer th.Close()
+	nodes := buildList(t, th, 10)
+	// The "program bug": the pointer in node 4 is overwritten.
+	if err := th.WriteU64(nodes[4], 0, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	freed, err := h.GC([]alloc.Ptr{nodes[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes 5..9 are reachable to the application (it has them in its own
+	// structures) but invisible to the conservative mark — they are swept.
+	if freed != 5 {
+		t.Fatalf("GC freed %d blocks behind the corrupted pointer, want 5", freed)
+	}
+}
+
+func TestGCRejectsInteriorAndGarbageWords(t *testing.T) {
+	h := newTestHeap(t, 8<<20)
+	th, _ := h.Thread(0)
+	defer th.Close()
+	p, err := th.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := th.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store an interior (q+8) and a wild value in p; neither marks q.
+	if err := th.WriteU64(p, 0, uint64(q)+8); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.WriteU64(p, 8, 12345); err != nil {
+		t.Fatal(err)
+	}
+	freed, err := h.GC([]alloc.Ptr{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed != 1 {
+		t.Fatalf("GC freed %d, want 1 (q is unreachable via interior pointer)", freed)
+	}
+}
+
+func TestMediumClassPath(t *testing.T) {
+	h := newTestHeap(t, 8<<20)
+	th, _ := h.Thread(0)
+	defer th.Close()
+	// 500 B sits above the 400 B threshold but far below a page: it must
+	// come from the global chunk list at fine granularity.
+	seen := map[alloc.Ptr]bool{}
+	var ptrs []alloc.Ptr
+	for i := 0; i < 100; i++ {
+		p, err := th.Alloc(500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[p] {
+			t.Fatalf("pointer %#x duplicated", p)
+		}
+		seen[p] = true
+		ptrs = append(ptrs, p)
+	}
+	_, _, carves, large, _ := h.StatsSnapshot()
+	if large != 100 {
+		t.Fatalf("global chunk-list ops = %d, want 100", large)
+	}
+	// ~7 slots of (512+16) per 4 KiB page: 100 allocs ≈ 15 pages, far less
+	// than the 100 pages the old page-granular path would burn.
+	if carves > 20 {
+		t.Fatalf("carved %d pages for 100 medium objects", carves)
+	}
+	for _, p := range ptrs {
+		if err := th.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Freed medium slots are reused without carving.
+	_, _, carvesBefore, _, _ := h.StatsSnapshot()
+	if _, err := th.Alloc(500); err != nil {
+		t.Fatal(err)
+	}
+	_, _, carvesAfter, _, _ := h.StatsSnapshot()
+	if carvesAfter != carvesBefore {
+		t.Fatal("medium realloc carved a fresh page")
+	}
+}
+
+func TestMediumBlocksVisibleToGCAndRecovery(t *testing.T) {
+	h := newTestHeap(t, 8<<20)
+	th, _ := h.Thread(0)
+	p, err := th.Alloc(1000) // medium class 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.WriteU64(p, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	garbage, err := th.Alloc(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = garbage
+	th.Close()
+	freed, err := h.Recover([]alloc.Ptr{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed != 1 {
+		t.Fatalf("recovery freed %d medium blocks, want 1 (the garbage)", freed)
+	}
+	th2, _ := h.Thread(0)
+	defer th2.Close()
+	v, err := th2.ReadU64(p, 0)
+	if err != nil || v != 7 {
+		t.Fatalf("reachable medium block lost: %d, %v", v, err)
+	}
+}

@@ -1,0 +1,79 @@
+package makalu
+
+import "poseidon/internal/alloc"
+
+// Recover is Makalu's restart path: rebuild the DRAM indexes (free spans
+// and reclaim lists) from the persistent page table and object headers,
+// then run the conservative mark-and-sweep GC from the application's roots
+// to reclaim anything a crash leaked (§2.2). Existing handles must be
+// discarded; their thread-local lists are stale.
+func (h *Heap) Recover(roots []alloc.Ptr) (freed uint64, err error) {
+	if err := h.rebuildIndexes(); err != nil {
+		return 0, err
+	}
+	return h.GC(roots)
+}
+
+// rebuildIndexes reconstructs spans and reclaim lists by scanning the page
+// table — a whole-heap scan, in contrast with Poseidon's constant-size log
+// replay (§5.1); BenchmarkRecovery* quantifies the difference.
+func (h *Heap) rebuildIndexes() error {
+	h.globalMu.Lock()
+	defer h.globalMu.Unlock()
+	h.spans = nil
+	for c := range h.reclaim {
+		h.reclaim[c] = nil
+	}
+	for c := range h.mediumFree {
+		h.mediumFree[c] = nil
+	}
+	var runStart uint64
+	inRun := false
+	for p := uint64(0); p <= h.npages; p++ {
+		var state, payload uint64
+		var err error
+		if p < h.npages {
+			state, payload, err = h.pageState(p)
+			if err != nil {
+				return err
+			}
+		}
+		if p < h.npages && state == pageFree {
+			if !inRun {
+				runStart, inRun = p, true
+			}
+			continue
+		}
+		if inRun {
+			h.putSpanLocked(span{start: runStart, length: p - runStart})
+			inRun = false
+		}
+		if p == h.npages {
+			break
+		}
+		if state == pageSmall || state == pageMedium {
+			class := int(payload)
+			stride := slotStride(class)
+			if state == pageMedium {
+				stride = mediumStride(class)
+			}
+			n := uint64(pageSize) / stride
+			for i := uint64(0); i < n; i++ {
+				slot := h.pageOff(p) + i*stride
+				status, err := h.dev.ReadU64(slot + 8)
+				if err != nil {
+					return err
+				}
+				if status != statusFree {
+					continue
+				}
+				if state == pageSmall {
+					h.reclaim[class] = append(h.reclaim[class], slot)
+				} else {
+					h.mediumFree[class] = append(h.mediumFree[class], slot)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package memblock
+
+import (
+	"fmt"
+
+	"poseidon/internal/txn"
+)
+
+// The buddy list (paper §5.2) is an array of per-size-class doubly linked
+// free lists threaded through the records: 16 persistent bytes per class
+// (head slot, tail slot). Frees append at the tail to delay reuse of a
+// just-freed block (§5.5); allocations pop from the head.
+
+// headOff and tailOff locate a class's list pointers.
+func (m *Manager) headOff(class int) uint64 { return m.g.FreeListOff + uint64(class)*16 }
+func (m *Manager) tailOff(class int) uint64 { return m.g.FreeListOff + uint64(class)*16 + 8 }
+
+func (m *Manager) checkClass(class int) error {
+	if class < 0 || class >= m.g.NumClasses {
+		return fmt.Errorf("%w: class %d of %d", ErrBadSize, class, m.g.NumClasses)
+	}
+	return nil
+}
+
+// FreeHead returns the slot at the head of a class's free list (0 = empty).
+func (m *Manager) FreeHead(r txn.Reader, class int) (uint64, error) {
+	if err := m.checkClass(class); err != nil {
+		return 0, err
+	}
+	return r.ReadU64(m.headOff(class))
+}
+
+// PushFreeTail appends the record at slot to the tail of class's free list
+// and marks it free.
+func (m *Manager) PushFreeTail(b *txn.Batch, class int, slot uint64) error {
+	if err := m.checkClass(class); err != nil {
+		return err
+	}
+	tail, err := b.ReadU64(m.tailOff(class))
+	if err != nil {
+		return err
+	}
+	if err := b.WriteU64(slot+fldPrevFree, tail); err != nil {
+		return err
+	}
+	if err := b.WriteU64(slot+fldNextFree, 0); err != nil {
+		return err
+	}
+	if err := b.WriteU64(slot+fldStatus, StatusFree); err != nil {
+		return err
+	}
+	if tail != 0 {
+		if err := b.WriteU64(tail+fldNextFree, slot); err != nil {
+			return err
+		}
+	} else {
+		if err := b.WriteU64(m.headOff(class), slot); err != nil {
+			return err
+		}
+	}
+	return b.WriteU64(m.tailOff(class), slot)
+}
+
+// RemoveFree unlinks the record at slot from class's free list. The
+// caller is responsible for the record's status afterwards.
+func (m *Manager) RemoveFree(b *txn.Batch, class int, slot uint64) error {
+	if err := m.checkClass(class); err != nil {
+		return err
+	}
+	prev, err := b.ReadU64(slot + fldPrevFree)
+	if err != nil {
+		return err
+	}
+	next, err := b.ReadU64(slot + fldNextFree)
+	if err != nil {
+		return err
+	}
+	if prev != 0 {
+		if err := b.WriteU64(prev+fldNextFree, next); err != nil {
+			return err
+		}
+	} else {
+		if err := b.WriteU64(m.headOff(class), next); err != nil {
+			return err
+		}
+	}
+	if next != 0 {
+		if err := b.WriteU64(next+fldPrevFree, prev); err != nil {
+			return err
+		}
+	} else {
+		if err := b.WriteU64(m.tailOff(class), prev); err != nil {
+			return err
+		}
+	}
+	if err := b.WriteU64(slot+fldPrevFree, 0); err != nil {
+		return err
+	}
+	return b.WriteU64(slot+fldNextFree, 0)
+}
+
+// FreeListLen walks a class's free list and returns its length (test and
+// audit helper; O(n)).
+func (m *Manager) FreeListLen(r txn.Reader, class int) (int, error) {
+	head, err := m.FreeHead(r, class)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for slot := head; slot != 0; {
+		n++
+		if uint64(n) > m.g.TotalSlots() {
+			return 0, fmt.Errorf("memblock: free list of class %d is cyclic", class)
+		}
+		next, err := r.ReadU64(slot + fldNextFree)
+		if err != nil {
+			return 0, err
+		}
+		slot = next
+	}
+	return n, nil
+}

@@ -1,0 +1,174 @@
+// Package memblock manages Poseidon's per-sub-heap memory-block metadata:
+// one 64-byte persistent record per block (allocated or free), indexed by a
+// multi-level hash table for constant-time lookup, plus the per-size-class
+// buddy free lists threaded through the records (paper §4.4, §5.2).
+//
+// All structures live in the MPK-protected metadata region and are mutated
+// only through txn.Batch, which provides undo-logged failure atomicity.
+package memblock
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Table sizing constants.
+const (
+	// RecordSize is the size of one memory-block record: exactly one
+	// cacheline, so a record persists atomically with one flush.
+	RecordSize = 64
+
+	// MinClassLog is log2 of the smallest allocatable block (64 B).
+	MinClassLog = 6
+
+	// DefaultProbeWindow is the bounded linear-probing range (paper §5.2).
+	DefaultProbeWindow = 16
+
+	// maxLevels bounds the multi-level hash table growth; levels double
+	// until the slot budget is consumed, plus trailing filler levels that
+	// soak up the remainder (a pure doubling ladder with power-of-two
+	// level sizes can strand almost half the budget).
+	maxLevels = 10
+
+	headerSize = 64
+)
+
+// Block status values stored in records.
+const (
+	StatusFree      uint64 = 1
+	StatusAllocated uint64 = 2
+)
+
+// Errors reported by the manager.
+var (
+	// ErrNoSlot means the probe windows of every active level are full;
+	// the caller should defragment the probe window or extend the table.
+	ErrNoSlot = errors.New("memblock: no free slot in any probe window")
+	// ErrTableFull means every level is active and full.
+	ErrTableFull = errors.New("memblock: hash table is full")
+	// ErrNotFound means no record indexes the requested block offset.
+	ErrNotFound = errors.New("memblock: block not found")
+	// ErrDuplicate means a record for the block offset already exists.
+	ErrDuplicate = errors.New("memblock: block already present")
+	// ErrBadSize reports an unrepresentable allocation size.
+	ErrBadSize = errors.New("memblock: size out of range")
+)
+
+// Geometry fixes the persistent layout of one sub-heap's metadata
+// structures. It is computed once from the region sizes and never changes
+// (it can always be recomputed from the sub-heap header after a restart).
+type Geometry struct {
+	HeaderOff   uint64   // 64 B header: word 0 = active level count
+	FreeListOff uint64   // NumClasses × 16 B (head, tail)
+	LevelOff    []uint64 // device offset of each level's slot array
+	LevelCap    []uint64 // slots per level (powers of two)
+	End         uint64   // first offset past the managed metadata
+
+	UserBase uint64 // device offset of the user-data region this indexes
+	UserSize uint64 // bytes of user data (power of two)
+
+	NumClasses  int
+	ProbeWindow uint64
+}
+
+// ComputeGeometry lays the header, free lists and hash-table levels into
+// [metaBase, metaBase+metaAvail), indexing a user region of userSize bytes
+// at userBase. userSize must be a power of two ≥ the minimum block size.
+func ComputeGeometry(metaBase, metaAvail, userBase, userSize uint64) (Geometry, error) {
+	if userSize < 1<<MinClassLog || userSize&(userSize-1) != 0 {
+		return Geometry{}, fmt.Errorf("%w: user size %d must be a power of two ≥ %d",
+			ErrBadSize, userSize, 1<<MinClassLog)
+	}
+	maxClassLog := uint(bits.TrailingZeros64(userSize))
+	numClasses := int(maxClassLog) - MinClassLog + 1
+
+	g := Geometry{
+		HeaderOff:   metaBase,
+		FreeListOff: metaBase + headerSize,
+		UserBase:    userBase,
+		UserSize:    userSize,
+		NumClasses:  numClasses,
+		ProbeWindow: DefaultProbeWindow,
+	}
+	freeListBytes := (uint64(numClasses)*16 + 63) &^ 63
+	levelsBase := g.FreeListOff + freeListBytes
+	if levelsBase-metaBase >= metaAvail {
+		return Geometry{}, fmt.Errorf("memblock: metadata region too small (%d bytes)", metaAvail)
+	}
+	slotBudget := (metaAvail - (levelsBase - metaBase)) / RecordSize
+
+	// Build the level ladder: a doubling prefix (8 levels max) sized so it
+	// fits the budget, then greedy power-of-two filler levels that consume
+	// what the doubling ladder left stranded.
+	const doublingLevels = 8
+	levels := doublingLevels
+	var l0 uint64
+	for ; levels >= 1; levels-- {
+		span := uint64(1)<<levels - 1
+		c := floorPow2(slotBudget / span)
+		if c >= g.ProbeWindow {
+			l0 = c
+			break
+		}
+	}
+	if l0 == 0 {
+		return Geometry{}, fmt.Errorf("memblock: metadata region too small for level 0 (%d slots budget)", slotBudget)
+	}
+	at := levelsBase
+	used := uint64(0)
+	addLevel := func(capSlots uint64) {
+		g.LevelOff = append(g.LevelOff, at)
+		g.LevelCap = append(g.LevelCap, capSlots)
+		at += capSlots * RecordSize
+		used += capSlots
+	}
+	for i := 0; i < levels; i++ {
+		addLevel(l0 << i)
+	}
+	for len(g.LevelCap) < maxLevels {
+		filler := floorPow2(slotBudget - used)
+		if filler < g.ProbeWindow || filler < l0 {
+			break
+		}
+		addLevel(filler)
+	}
+	g.End = at
+	return g, nil
+}
+
+// TotalSlots returns the slot capacity across all (active and inactive)
+// levels.
+func (g Geometry) TotalSlots() uint64 {
+	var n uint64
+	for _, c := range g.LevelCap {
+		n += c
+	}
+	return n
+}
+
+// ClassSize returns the block size of a class.
+func (g Geometry) ClassSize(class int) uint64 { return 1 << (MinClassLog + uint(class)) }
+
+// MaxClass returns the largest class index (a block spanning the whole user
+// region).
+func (g Geometry) MaxClass() int { return g.NumClasses - 1 }
+
+// ClassOf returns the smallest class whose block size holds size bytes.
+func (g Geometry) ClassOf(size uint64) (int, error) {
+	if size == 0 || size > g.UserSize {
+		return 0, fmt.Errorf("%w: %d bytes (user region is %d)", ErrBadSize, size, g.UserSize)
+	}
+	c := 0
+	if size > 1<<MinClassLog {
+		c = bits.Len64(size-1) - MinClassLog
+	}
+	return c, nil
+}
+
+func floorPow2(v uint64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	return 1 << (bits.Len64(v) - 1)
+}

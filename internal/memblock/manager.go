@@ -1,0 +1,275 @@
+package memblock
+
+import (
+	"fmt"
+	"math/bits"
+
+	"poseidon/internal/mpk"
+	"poseidon/internal/txn"
+)
+
+// Record field offsets within a 64-byte slot. BlockOff doubles as the slot
+// state: 0 = empty (never used), ^0 = tombstone (deleted, probe chains pass
+// through).
+const (
+	fldBlockOff = 0
+	fldSize     = 8
+	fldStatus   = 16
+	fldPrevFree = 24
+	fldNextFree = 32
+
+	tombstone = ^uint64(0)
+)
+
+// Record is a decoded memory-block record. Slot is the device offset of the
+// record itself; PrevFree/NextFree are slot offsets forming the doubly
+// linked free list of the block's size class (0 = none).
+type Record struct {
+	Slot     uint64
+	BlockOff uint64
+	Size     uint64
+	Status   uint64
+	PrevFree uint64
+	NextFree uint64
+}
+
+// Manager operates the memory-block metadata of one sub-heap. It is not
+// goroutine-safe: callers hold the sub-heap lock (paper §5.7).
+type Manager struct {
+	w mpk.Window
+	g Geometry
+}
+
+// NewManager binds a manager to its window and geometry.
+func NewManager(w mpk.Window, g Geometry) *Manager {
+	return &Manager{w: w, g: g}
+}
+
+// Geometry returns the fixed layout.
+func (m *Manager) Geometry() Geometry { return m.g }
+
+// Format initialises the persistent structures: one active level, empty
+// free lists. The region must be zeroed (fresh device ranges read as zero).
+func (m *Manager) Format() error {
+	if err := m.w.PersistU64(m.g.HeaderOff, 1); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ActiveLevels returns the number of active hash-table levels.
+func (m *Manager) ActiveLevels(r txn.Reader) (int, error) {
+	v, err := r.ReadU64(m.g.HeaderOff)
+	if err != nil {
+		return 0, err
+	}
+	if v == 0 || v > uint64(len(m.g.LevelCap)) {
+		return 0, fmt.Errorf("memblock: corrupt level count %d", v)
+	}
+	return int(v), nil
+}
+
+// hashSlot returns the home slot index of a key in a level of capacity c
+// (Fibonacci hashing; c is a power of two). The high bits of the product
+// carry the entropy — the low bits of aligned keys are constant.
+func hashSlot(key, c uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> (64 - uint(bits.Len64(c-1)))
+}
+
+// slotOff returns the device offset of slot i in level l.
+func (m *Manager) slotOff(l int, i uint64) uint64 {
+	return m.g.LevelOff[l] + i*RecordSize
+}
+
+// ReadRecord decodes the record stored at slot.
+func (m *Manager) ReadRecord(r txn.Reader, slot uint64) (Record, error) {
+	rec := Record{Slot: slot}
+	var err error
+	if rec.BlockOff, err = r.ReadU64(slot + fldBlockOff); err != nil {
+		return rec, err
+	}
+	if rec.Size, err = r.ReadU64(slot + fldSize); err != nil {
+		return rec, err
+	}
+	if rec.Status, err = r.ReadU64(slot + fldStatus); err != nil {
+		return rec, err
+	}
+	if rec.PrevFree, err = r.ReadU64(slot + fldPrevFree); err != nil {
+		return rec, err
+	}
+	if rec.NextFree, err = r.ReadU64(slot + fldNextFree); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// Lookup returns the slot offset of the record indexing blockOff.
+//
+// Levels are probed newest-first: under load the majority of keys live in
+// the latest (largest) levels, while probing a sparsely used level costs a
+// single read (its chain ends at the first empty slot) — so the expected
+// walk is far shorter than oldest-first order, and correctness does not
+// depend on probe order at all.
+func (m *Manager) Lookup(r txn.Reader, blockOff uint64) (uint64, error) {
+	levels, err := m.ActiveLevels(r)
+	if err != nil {
+		return 0, err
+	}
+	for l := levels - 1; l >= 0; l-- {
+		c := m.g.LevelCap[l]
+		h := hashSlot(blockOff, c)
+		for i := uint64(0); i < m.g.ProbeWindow && i < c; i++ {
+			slot := m.slotOff(l, (h+i)&(c-1))
+			key, err := r.ReadU64(slot + fldBlockOff)
+			if err != nil {
+				return 0, err
+			}
+			if key == blockOff {
+				return slot, nil
+			}
+			if key == 0 {
+				break // never-used slot terminates this level's chain
+			}
+		}
+	}
+	return 0, fmt.Errorf("%w: block %#x", ErrNotFound, blockOff)
+}
+
+// Insert writes a new record for (blockOff, size, status) into the first
+// free slot of any active level's probe window and returns its slot offset.
+// It does not extend the table: on ErrNoSlot the caller defragments the
+// probe window and/or calls ExtendLevel, then retries (paper §5.2).
+func (m *Manager) Insert(b *txn.Batch, blockOff, size, status uint64) (uint64, error) {
+	if blockOff == 0 || blockOff == tombstone {
+		return 0, fmt.Errorf("memblock: invalid block offset %#x", blockOff)
+	}
+	levels, err := m.ActiveLevels(b)
+	if err != nil {
+		return 0, err
+	}
+	free := uint64(0)
+	for l := 0; l < levels && free == 0; l++ {
+		c := m.g.LevelCap[l]
+		h := hashSlot(blockOff, c)
+		for i := uint64(0); i < m.g.ProbeWindow && i < c; i++ {
+			slot := m.slotOff(l, (h+i)&(c-1))
+			key, err := b.ReadU64(slot + fldBlockOff)
+			if err != nil {
+				return 0, err
+			}
+			if key == blockOff {
+				return 0, fmt.Errorf("%w: block %#x", ErrDuplicate, blockOff)
+			}
+			if key == 0 || key == tombstone {
+				if free == 0 {
+					free = slot
+				}
+				if key == 0 {
+					break // chain ends; no duplicate beyond this point
+				}
+			}
+		}
+	}
+	if free == 0 {
+		return 0, ErrNoSlot
+	}
+	rec := Record{Slot: free, BlockOff: blockOff, Size: size, Status: status}
+	if err := m.writeRecord(b, rec); err != nil {
+		return 0, err
+	}
+	return free, nil
+}
+
+// writeRecord stages all fields of a record.
+func (m *Manager) writeRecord(b *txn.Batch, rec Record) error {
+	if err := b.WriteU64(rec.Slot+fldBlockOff, rec.BlockOff); err != nil {
+		return err
+	}
+	if err := b.WriteU64(rec.Slot+fldSize, rec.Size); err != nil {
+		return err
+	}
+	if err := b.WriteU64(rec.Slot+fldStatus, rec.Status); err != nil {
+		return err
+	}
+	if err := b.WriteU64(rec.Slot+fldPrevFree, rec.PrevFree); err != nil {
+		return err
+	}
+	return b.WriteU64(rec.Slot+fldNextFree, rec.NextFree)
+}
+
+// Delete tombstones the record at slot.
+func (m *Manager) Delete(b *txn.Batch, slot uint64) error {
+	return b.WriteU64(slot+fldBlockOff, tombstone)
+}
+
+// SetStatus stages a status change.
+func (m *Manager) SetStatus(b *txn.Batch, slot uint64, status uint64) error {
+	return b.WriteU64(slot+fldStatus, status)
+}
+
+// SetSize stages a size change (used when merging buddies).
+func (m *Manager) SetSize(b *txn.Batch, slot uint64, size uint64) error {
+	return b.WriteU64(slot+fldSize, size)
+}
+
+// ExtendLevel activates the next hash-table level. Its slots are untouched
+// device space and therefore read as empty.
+func (m *Manager) ExtendLevel(b *txn.Batch) error {
+	levels, err := m.ActiveLevels(b)
+	if err != nil {
+		return err
+	}
+	if levels >= len(m.g.LevelCap) {
+		return ErrTableFull
+	}
+	return b.WriteU64(m.g.HeaderOff, uint64(levels)+1)
+}
+
+// ProbeWindowSlots returns the slot offsets a key's probe window covers in
+// every active level — the "linear probing space" the paper defragments
+// when an insert finds no slot (§5.4 case 2).
+func (m *Manager) ProbeWindowSlots(r txn.Reader, blockOff uint64) ([]uint64, error) {
+	levels, err := m.ActiveLevels(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for l := 0; l < levels; l++ {
+		c := m.g.LevelCap[l]
+		h := hashSlot(blockOff, c)
+		for i := uint64(0); i < m.g.ProbeWindow && i < c; i++ {
+			out = append(out, m.slotOff(l, (h+i)&(c-1)))
+		}
+	}
+	return out, nil
+}
+
+// ForEachRecord calls fn for every live record across active levels (used
+// by recovery audits and the heap inspector). Iteration stops on the first
+// error.
+func (m *Manager) ForEachRecord(r txn.Reader, fn func(Record) error) error {
+	levels, err := m.ActiveLevels(r)
+	if err != nil {
+		return err
+	}
+	for l := 0; l < levels; l++ {
+		for i := uint64(0); i < m.g.LevelCap[l]; i++ {
+			slot := m.slotOff(l, i)
+			key, err := r.ReadU64(slot + fldBlockOff)
+			if err != nil {
+				return err
+			}
+			if key == 0 || key == tombstone {
+				continue
+			}
+			rec, err := m.ReadRecord(r, slot)
+			if err != nil {
+				return err
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

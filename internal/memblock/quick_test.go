@@ -1,0 +1,98 @@
+package memblock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: ClassOf always returns the smallest class whose size holds the
+// request, and ClassSize∘ClassOf is idempotent.
+func TestQuickClassOfProperties(t *testing.T) {
+	g, err := ComputeGeometry(testMetaBase, testMetaSize, testUserBase, testUserSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint64) bool {
+		size := raw%g.UserSize + 1
+		c, err := g.ClassOf(size)
+		if err != nil {
+			return false
+		}
+		if g.ClassSize(c) < size {
+			return false // class too small
+		}
+		if c > 0 && g.ClassSize(c-1) >= size {
+			return false // not minimal
+		}
+		// Idempotence: a class-sized request maps to the same class.
+		c2, err := g.ClassOf(g.ClassSize(c))
+		return err == nil && c2 == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the buddy relation used by defragmentation is an involution
+// that never leaves the user region and never overlaps its partner.
+func TestQuickBuddyInvolution(t *testing.T) {
+	g, err := ComputeGeometry(testMetaBase, testMetaSize, testUserBase, testUserSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(rawOff, rawClass uint64) bool {
+		class := int(rawClass % uint64(g.NumClasses-1)) // below max: max has no buddy
+		size := g.ClassSize(class)
+		// A valid block offset is size-aligned within the user region.
+		blocks := g.UserSize / size
+		rel := (rawOff % blocks) * size
+		off := g.UserBase + rel
+		buddy := g.UserBase + (rel ^ size)
+		if buddy < g.UserBase || buddy+size > g.UserBase+g.UserSize {
+			return false
+		}
+		if buddy == off {
+			return false
+		}
+		// Involution: buddy of buddy is the original.
+		back := g.UserBase + (((buddy - g.UserBase) ^ size) % g.UserSize)
+		if back != off {
+			return false
+		}
+		// Disjoint, adjacent, and their union is the parent block.
+		lo, hi := off, buddy
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		if hi != lo+size {
+			return false
+		}
+		parentSize := 2 * size
+		return (lo-g.UserBase)%parentSize == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hashSlot stays in range and differs across levels often enough
+// to spread collisions (not a constant function of the level).
+func TestQuickHashSlotRange(t *testing.T) {
+	f := func(key uint64, rawCap uint8) bool {
+		c := uint64(1) << (uint(rawCap)%10 + 4) // 16..8192
+		s := hashSlot(key|1, c)
+		return s < c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Aligned keys (the real workload) must not all collapse to one slot.
+	const c = 1 << 10
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		seen[hashSlot(testUserBase+i*64, c)] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("aligned keys hit only %d distinct slots of %d", len(seen), c)
+	}
+}

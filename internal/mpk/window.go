@@ -1,0 +1,124 @@
+package mpk
+
+import "poseidon/internal/nvm"
+
+// Window is a protection-checked view of an NVMM device, bound to one
+// thread's PKRU. Every access is validated against the page keys exactly as
+// the MMU would; a denied access panics with a *ProtectionError — the moral
+// equivalent of the SIGSEGV a real pkey violation raises.
+//
+// All of Poseidon's own stores, and all user stores in the examples, go
+// through a Window, so the metadata region is protected from both stray
+// program writes and allocator bugs.
+type Window struct {
+	dev    *nvm.Device
+	thread *Thread
+}
+
+// NewWindow binds a device view to a thread.
+func NewWindow(dev *nvm.Device, thread *Thread) Window {
+	return Window{dev: dev, thread: thread}
+}
+
+// Device returns the underlying device.
+func (w Window) Device() *nvm.Device { return w.dev }
+
+// Thread returns the bound thread.
+func (w Window) Thread() *Thread { return w.thread }
+
+func (w Window) faultStore(off, n uint64) {
+	if e := w.thread.checkStore(off, n); e != nil {
+		panic(e)
+	}
+}
+
+func (w Window) faultLoad(off, n uint64) {
+	if e := w.thread.checkLoad(off, n); e != nil {
+		panic(e)
+	}
+}
+
+// Write stores b at off, faulting if the PKRU denies any covered page.
+func (w Window) Write(off uint64, b []byte) error {
+	w.faultStore(off, uint64(len(b)))
+	return w.dev.Write(off, b)
+}
+
+// Read loads len(b) bytes at off.
+func (w Window) Read(off uint64, b []byte) error {
+	w.faultLoad(off, uint64(len(b)))
+	return w.dev.Read(off, b)
+}
+
+// WriteU64 stores a little-endian 8-byte value.
+func (w Window) WriteU64(off uint64, v uint64) error {
+	w.faultStore(off, 8)
+	return w.dev.WriteU64(off, v)
+}
+
+// ReadU64 loads a little-endian 8-byte value.
+func (w Window) ReadU64(off uint64) (uint64, error) {
+	w.faultLoad(off, 8)
+	return w.dev.ReadU64(off)
+}
+
+// WriteU32 stores a little-endian 4-byte value.
+func (w Window) WriteU32(off uint64, v uint32) error {
+	w.faultStore(off, 4)
+	return w.dev.WriteU32(off, v)
+}
+
+// ReadU32 loads a little-endian 4-byte value.
+func (w Window) ReadU32(off uint64) (uint32, error) {
+	w.faultLoad(off, 4)
+	return w.dev.ReadU32(off)
+}
+
+// WriteU16 stores a little-endian 2-byte value.
+func (w Window) WriteU16(off uint64, v uint16) error {
+	w.faultStore(off, 2)
+	return w.dev.WriteU16(off, v)
+}
+
+// ReadU16 loads a little-endian 2-byte value.
+func (w Window) ReadU16(off uint64) (uint16, error) {
+	w.faultLoad(off, 2)
+	return w.dev.ReadU16(off)
+}
+
+// WriteU8 stores one byte.
+func (w Window) WriteU8(off uint64, v uint8) error {
+	w.faultStore(off, 1)
+	return w.dev.WriteU8(off, v)
+}
+
+// ReadU8 loads one byte.
+func (w Window) ReadU8(off uint64) (uint8, error) {
+	w.faultLoad(off, 1)
+	return w.dev.ReadU8(off)
+}
+
+// Zero clears [off, off+n).
+func (w Window) Zero(off, n uint64) error {
+	w.faultStore(off, n)
+	return w.dev.Zero(off, n)
+}
+
+// Flush persists the covering cachelines (no protection check: clwb on a
+// read-only page is legal).
+func (w Window) Flush(off, n uint64) error { return w.dev.Flush(off, n) }
+
+// Fence orders prior flushes.
+func (w Window) Fence() { w.dev.Fence() }
+
+// Persist writes, flushes and fences.
+func (w Window) Persist(off uint64, b []byte) error {
+	w.faultStore(off, uint64(len(b)))
+	return w.dev.Persist(off, b)
+}
+
+// PersistU64 atomically stores and persists an 8-byte value.
+func (w Window) PersistU64(off uint64, v uint64) error {
+	w.faultStore(off, 8)
+	return w.dev.PersistU64(off, v)
+}

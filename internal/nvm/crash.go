@@ -1,0 +1,97 @@
+package nvm
+
+import (
+	"math/bits"
+	"math/rand"
+)
+
+// EvictMode selects which dirty (written but unflushed) cachelines happen to
+// reach the media when the power fails.
+type EvictMode int
+
+const (
+	// EvictNone drops every unflushed store: only explicitly flushed data
+	// survives. This is the classic "straight to the persistence domain you
+	// asked for" failure.
+	EvictNone EvictMode = iota + 1
+	// EvictAll persists every dirty line, as if the cache had drained the
+	// instant before the failure.
+	EvictAll
+	// EvictRandom persists each dirty line independently with probability
+	// Prob, driven by Seed. This is the adversarial case real hardware
+	// permits: caches evict lines whenever they please.
+	EvictRandom
+)
+
+// CrashPolicy describes a simulated power-failure.
+type CrashPolicy struct {
+	Mode EvictMode
+	// Prob is the per-line survival probability for EvictRandom.
+	Prob float64
+	// Seed drives EvictRandom deterministically.
+	Seed int64
+}
+
+// Crash simulates a power failure: the device reverts to its persistent
+// image, after the policy decides the fate of each dirty cacheline. The
+// device remains usable afterwards — reopening it models a post-crash
+// restart. Requires crash tracking.
+func (d *Device) Crash(policy CrashPolicy) error {
+	if !d.tracking {
+		return ErrTrackingDisabled
+	}
+	var rng *rand.Rand
+	if policy.Mode == EvictRandom {
+		rng = rand.New(rand.NewSource(policy.Seed))
+	}
+	for i := range d.chunks {
+		c := d.chunks[i].Load()
+		if c == nil {
+			continue
+		}
+		for w, word := range c.dirty {
+			for word != 0 {
+				bit := word & (-word)
+				word &^= bit
+				line := uint64(w)*64 + uint64(trailingZeros(bit))
+				persist := false
+				switch policy.Mode {
+				case EvictAll:
+					persist = true
+				case EvictRandom:
+					persist = rng.Float64() < policy.Prob
+				}
+				lo := line * CachelineSize
+				if persist {
+					copy(c.shadow[lo:lo+CachelineSize], c.data[lo:lo+CachelineSize])
+				}
+			}
+			c.dirty[w] = 0
+		}
+		copy(c.data, c.shadow)
+	}
+	return nil
+}
+
+// DirtyLines returns the number of cachelines written since their last
+// flush. Requires crash tracking.
+func (d *Device) DirtyLines() (uint64, error) {
+	if !d.tracking {
+		return 0, ErrTrackingDisabled
+	}
+	var total uint64
+	for i := range d.chunks {
+		c := d.chunks[i].Load()
+		if c == nil {
+			continue
+		}
+		for _, word := range c.dirty {
+			total += uint64(popcount(word))
+		}
+	}
+	return total, nil
+}
+
+func trailingZeros(v uint64) int { return bits.TrailingZeros64(v) }
+
+func popcount(v uint64) int { return bits.OnesCount64(v) }

@@ -1,0 +1,42 @@
+package nvm
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFailpointTriggersAndDisarms(t *testing.T) {
+	d := newTestDevice(t, ChunkSize, true)
+	d.FailAfter(2)
+	if err := d.Write(0, []byte{1}); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if err := d.WriteU64(64, 7); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	if err := d.Write(128, []byte{3}); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("write 3: %v, want ErrDeviceFailed", err)
+	}
+	if err := d.Flush(0, 64); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("flush: %v, want ErrDeviceFailed", err)
+	}
+	if err := d.Zero(0, 64); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("zero: %v, want ErrDeviceFailed", err)
+	}
+	// Reads still work on a dying device.
+	if _, err := d.ReadU64(64); err != nil {
+		t.Fatalf("read on failed device: %v", err)
+	}
+	d.DisarmFailpoint()
+	if err := d.Write(128, []byte{3}); err != nil {
+		t.Fatalf("write after disarm: %v", err)
+	}
+}
+
+func TestFailpointZeroBudgetFailsImmediately(t *testing.T) {
+	d := newTestDevice(t, ChunkSize, false)
+	d.FailAfter(0)
+	if err := d.Write(0, []byte{1}); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,609 @@
+package nvm
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestDevice(t *testing.T, capacity uint64, tracking bool) *Device {
+	t.Helper()
+	d, err := NewDevice(Options{Capacity: capacity, CrashTracking: tracking})
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	return d
+}
+
+func TestNewDeviceZeroCapacity(t *testing.T) {
+	if _, err := NewDevice(Options{}); err == nil {
+		t.Fatal("want error for zero capacity")
+	}
+}
+
+func TestCapacityRoundsUpToChunk(t *testing.T) {
+	d := newTestDevice(t, 1, false)
+	if d.Capacity() != ChunkSize {
+		t.Fatalf("capacity = %d, want %d", d.Capacity(), ChunkSize)
+	}
+}
+
+func TestReadUnwrittenIsZero(t *testing.T) {
+	d := newTestDevice(t, ChunkSize, false)
+	buf := make([]byte, 128)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if err := d.Read(100, buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	for i, v := range buf {
+		if v != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, v)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newTestDevice(t, 2*ChunkSize, false)
+	want := []byte("the quick brown fox jumps over the lazy dog")
+	if err := d.Write(1234, want); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, len(want))
+	if err := d.Read(1234, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestWriteSpansChunkBoundary(t *testing.T) {
+	d := newTestDevice(t, 2*ChunkSize, true)
+	want := make([]byte, 4096)
+	for i := range want {
+		want[i] = byte(i)
+	}
+	off := uint64(ChunkSize - 2048)
+	if err := d.Write(off, want); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, len(want))
+	if err := d.Read(off, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("cross-chunk write does not round-trip")
+	}
+	// And it must survive a flush + crash.
+	if err := d.Flush(off, uint64(len(want))); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	d.Fence()
+	if err := d.Crash(CrashPolicy{Mode: EvictNone}); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	if err := d.Read(off, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("cross-chunk flushed write lost at crash")
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	d := newTestDevice(t, ChunkSize, false)
+	tests := []struct {
+		name string
+		err  error
+	}{
+		{"write", d.Write(d.Capacity()-4, make([]byte, 8))},
+		{"read", d.Read(d.Capacity(), make([]byte, 1))},
+		{"writeU64", d.WriteU64(d.Capacity()-7, 1)},
+		{"flush", d.Flush(d.Capacity()-1, 2)},
+		{"zero", d.Zero(d.Capacity()-1, 2)},
+	}
+	for _, tt := range tests {
+		if !errors.Is(tt.err, ErrOutOfRange) {
+			t.Errorf("%s: err = %v, want ErrOutOfRange", tt.name, tt.err)
+		}
+	}
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	d := newTestDevice(t, ChunkSize, false)
+	const off = 512
+	const val uint64 = 0xDEADBEEFCAFEF00D
+	if err := d.WriteU64(off, val); err != nil {
+		t.Fatalf("WriteU64: %v", err)
+	}
+	got, err := d.ReadU64(off)
+	if err != nil {
+		t.Fatalf("ReadU64: %v", err)
+	}
+	if got != val {
+		t.Fatalf("got %#x, want %#x", got, val)
+	}
+}
+
+func TestScalarRoundTrips(t *testing.T) {
+	d := newTestDevice(t, ChunkSize, false)
+	if err := d.WriteU32(8, 0xA1B2C3D4); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.ReadU32(8); v != 0xA1B2C3D4 {
+		t.Fatalf("u32 = %#x", v)
+	}
+	if err := d.WriteU16(20, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.ReadU16(20); v != 0xBEEF {
+		t.Fatalf("u16 = %#x", v)
+	}
+	if err := d.WriteU8(30, 0x7F); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.ReadU8(30); v != 0x7F {
+		t.Fatalf("u8 = %#x", v)
+	}
+}
+
+func TestU64CrossChunkBoundary(t *testing.T) {
+	d := newTestDevice(t, 2*ChunkSize, false)
+	off := uint64(ChunkSize - 4)
+	if err := d.WriteU64(off, 0x1122334455667788); err != nil {
+		t.Fatalf("WriteU64: %v", err)
+	}
+	got, err := d.ReadU64(off)
+	if err != nil {
+		t.Fatalf("ReadU64: %v", err)
+	}
+	if got != 0x1122334455667788 {
+		t.Fatalf("got %#x", got)
+	}
+}
+
+func TestCrashDropsUnflushedWrites(t *testing.T) {
+	d := newTestDevice(t, ChunkSize, true)
+	if err := d.Persist(0, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(64, []byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Crash(CrashPolicy{Mode: EvictNone}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if err := d.Read(0, got[:7]); err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:7]) != "durable" {
+		t.Fatalf("flushed data lost: %q", got[:7])
+	}
+	if err := d.Read(64, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 8)) {
+		t.Fatalf("unflushed data survived EvictNone crash: %q", got)
+	}
+}
+
+func TestCrashEvictAllKeepsDirtyWrites(t *testing.T) {
+	d := newTestDevice(t, ChunkSize, true)
+	if err := d.Write(64, []byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Crash(CrashPolicy{Mode: EvictAll}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if err := d.Read(64, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "volatile" {
+		t.Fatalf("EvictAll crash lost dirty line: %q", got)
+	}
+}
+
+func TestCrashEvictRandomIsDeterministic(t *testing.T) {
+	run := func(seed int64) []byte {
+		d := newTestDevice(t, ChunkSize, true)
+		buf := make([]byte, CachelineSize)
+		for line := 0; line < 64; line++ {
+			for i := range buf {
+				buf[i] = byte(line + 1)
+			}
+			if err := d.Write(uint64(line)*CachelineSize, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.Crash(CrashPolicy{Mode: EvictRandom, Prob: 0.5, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, 64*CachelineSize)
+		if err := d.Read(0, out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if !bytes.Equal(run(42), run(42)) {
+		t.Fatal("same seed produced different survivors")
+	}
+	if bytes.Equal(run(1), run(2)) {
+		t.Fatal("different seeds produced identical survivors (suspicious)")
+	}
+}
+
+func TestCrashPartialLineGranularity(t *testing.T) {
+	// Two writes to the same cacheline: flushing after the first does not
+	// protect the second — the line reverts or survives as a unit.
+	d := newTestDevice(t, ChunkSize, true)
+	if err := d.Persist(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(1, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Crash(CrashPolicy{Mode: EvictNone}); err != nil {
+		t.Fatal(err)
+	}
+	b0, _ := d.ReadU8(0)
+	b1, _ := d.ReadU8(1)
+	if b0 != 1 {
+		t.Fatalf("flushed byte lost: %d", b0)
+	}
+	if b1 != 0 {
+		t.Fatalf("unflushed byte in re-dirtied line survived EvictNone: %d", b1)
+	}
+}
+
+func TestCrashRequiresTracking(t *testing.T) {
+	d := newTestDevice(t, ChunkSize, false)
+	if err := d.Crash(CrashPolicy{Mode: EvictNone}); !errors.Is(err, ErrTrackingDisabled) {
+		t.Fatalf("err = %v, want ErrTrackingDisabled", err)
+	}
+	if _, err := d.DirtyLines(); !errors.Is(err, ErrTrackingDisabled) {
+		t.Fatalf("err = %v, want ErrTrackingDisabled", err)
+	}
+}
+
+func TestDirtyLines(t *testing.T) {
+	d := newTestDevice(t, ChunkSize, true)
+	if n, _ := d.DirtyLines(); n != 0 {
+		t.Fatalf("fresh device has %d dirty lines", n)
+	}
+	if err := d.Write(0, make([]byte, 3*CachelineSize)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := d.DirtyLines(); n != 3 {
+		t.Fatalf("dirty lines = %d, want 3", n)
+	}
+	if err := d.Flush(0, CachelineSize); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := d.DirtyLines(); n != 2 {
+		t.Fatalf("dirty lines after flush = %d, want 2", n)
+	}
+}
+
+func TestPunchHoleReleasesChunks(t *testing.T) {
+	d := newTestDevice(t, 4*ChunkSize, false)
+	for i := uint64(0); i < 4; i++ {
+		if err := d.Write(i*ChunkSize, []byte{0xAB}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := d.ResidentBytes()
+	if before != 4*ChunkSize {
+		t.Fatalf("resident = %d, want %d", before, 4*ChunkSize)
+	}
+	if err := d.PunchHole(ChunkSize, 2*ChunkSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ResidentBytes(); got != 2*ChunkSize {
+		t.Fatalf("resident after punch = %d, want %d", got, 2*ChunkSize)
+	}
+	// Punched range reads as zero, edges survive.
+	b, _ := d.ReadU8(ChunkSize)
+	if b != 0 {
+		t.Fatalf("punched byte = %#x", b)
+	}
+	b, _ = d.ReadU8(0)
+	if b != 0xAB {
+		t.Fatalf("unpunched byte = %#x", b)
+	}
+	// Re-touching re-materialises.
+	if err := d.Write(ChunkSize+5, []byte{0xCD}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = d.ReadU8(ChunkSize + 5)
+	if b != 0xCD {
+		t.Fatalf("re-touched byte = %#x", b)
+	}
+}
+
+func TestPunchHolePartialEdgesZeroDurably(t *testing.T) {
+	d := newTestDevice(t, 2*ChunkSize, true)
+	if err := d.Persist(100, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PunchHole(101, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Crash(CrashPolicy{Mode: EvictNone}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if err := d.Read(100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 0, 0, 4}) {
+		t.Fatalf("after partial punch + crash: %v", got)
+	}
+}
+
+func TestZeroNeverMaterialises(t *testing.T) {
+	d := newTestDevice(t, 2*ChunkSize, false)
+	if err := d.Zero(0, 2*ChunkSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ResidentBytes(); got != 0 {
+		t.Fatalf("Zero materialised %d bytes", got)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	d, err := NewDevice(Options{Capacity: ChunkSize, Stats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Persist(0, make([]byte, 130)); err != nil {
+		t.Fatal(err)
+	}
+	s := d.StatsSnapshot()
+	if s.Writes != 1 || s.BytesWritten != 130 {
+		t.Fatalf("writes=%d bytes=%d", s.Writes, s.BytesWritten)
+	}
+	if s.Flushes != 3 { // 130 bytes starting at 0 covers 3 cachelines
+		t.Fatalf("flushes = %d, want 3", s.Flushes)
+	}
+	if s.Fences != 1 {
+		t.Fatalf("fences = %d, want 1", s.Fences)
+	}
+}
+
+func TestStatsDisabledSnapshotIsZero(t *testing.T) {
+	d := newTestDevice(t, ChunkSize, false)
+	if err := d.Persist(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if s := d.StatsSnapshot(); s != (StatsSnapshot{}) {
+		t.Fatalf("snapshot = %+v, want zero", s)
+	}
+}
+
+func TestConcurrentDisjointWrites(t *testing.T) {
+	d := newTestDevice(t, 8*ChunkSize, true)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * ChunkSize
+			buf := []byte{byte(w + 1)}
+			for i := uint64(0); i < 1000; i++ {
+				off := base + i*64
+				if err := d.Write(off, buf); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if err := d.Flush(off, 1); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+			d.Fence()
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		v, err := d.ReadU8(uint64(w)*ChunkSize + 999*64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != byte(w+1) {
+			t.Fatalf("worker %d data = %d", w, v)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := newTestDevice(t, 4*ChunkSize, true)
+	if err := d.Persist(123, []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Persist(3*ChunkSize+7, []byte("far away")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(64*100, []byte("unflushed")); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadFrom(&buf, Options{CrashTracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Capacity() != d.Capacity() {
+		t.Fatalf("capacity = %d, want %d", d2.Capacity(), d.Capacity())
+	}
+	got := make([]byte, 9)
+	if err := d2.Read(123, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "persisted" {
+		t.Fatalf("got %q", got)
+	}
+	if err := d2.Read(3*ChunkSize+7, got[:8]); err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:8]) != "far away" {
+		t.Fatalf("got %q", got[:8])
+	}
+	// Unflushed data must not survive the "power cycle".
+	if err := d2.Read(64*100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 9)) {
+		t.Fatalf("unflushed data survived save/load: %q", got)
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	d := newTestDevice(t, ChunkSize, false)
+	if err := d.Persist(0, []byte("hello file")); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/dev.img"
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 10)
+	if err := d2.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello file" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLoadRejectsBadImages(t *testing.T) {
+	if _, err := LoadFrom(bytes.NewReader([]byte("garbage!")), Options{}); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("err = %v, want ErrBadImage", err)
+	}
+	// Right magic, truncated body.
+	var buf bytes.Buffer
+	buf.Write(imageMagic[:])
+	var cap8 [8]byte
+	putU64(cap8[:], ChunkSize)
+	buf.Write(cap8[:])
+	if _, err := LoadFrom(&buf, Options{}); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("err = %v, want ErrBadImage", err)
+	}
+}
+
+func TestLoadCapacityMismatch(t *testing.T) {
+	d := newTestDevice(t, ChunkSize, false)
+	var buf bytes.Buffer
+	if err := d.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFrom(&buf, Options{Capacity: 8 * ChunkSize}); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("err = %v, want ErrBadImage", err)
+	}
+}
+
+// quickDeviceOp mirrors a device against a plain byte slice and checks they
+// agree after arbitrary interleavings of writes, flushes and EvictAll
+// crashes (EvictAll keeps everything, so the model never loses data).
+func TestQuickDeviceMatchesModel(t *testing.T) {
+	const capacity = 2 * ChunkSize
+	f := func(seed int64, opCount uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, err := NewDevice(Options{Capacity: capacity, CrashTracking: true})
+		if err != nil {
+			return false
+		}
+		model := make([]byte, capacity)
+		ops := int(opCount)%64 + 1
+		for i := 0; i < ops; i++ {
+			off := uint64(rng.Intn(capacity - 256))
+			n := rng.Intn(256) + 1
+			switch rng.Intn(4) {
+			case 0, 1: // write
+				b := make([]byte, n)
+				rng.Read(b)
+				if err := d.Write(off, b); err != nil {
+					return false
+				}
+				copy(model[off:], b)
+			case 2: // flush+fence
+				if err := d.Flush(off, uint64(n)); err != nil {
+					return false
+				}
+				d.Fence()
+			case 3: // crash that keeps all dirty lines
+				if err := d.Crash(CrashPolicy{Mode: EvictAll}); err != nil {
+					return false
+				}
+			}
+		}
+		got := make([]byte, capacity)
+		if err := d.Read(0, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// After an EvictNone crash, device contents must equal the model that only
+// applied flushed bytes.
+func TestQuickCrashKeepsExactlyFlushed(t *testing.T) {
+	const capacity = ChunkSize
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, err := NewDevice(Options{Capacity: capacity, CrashTracking: true})
+		if err != nil {
+			return false
+		}
+		persisted := make([]byte, capacity)
+		current := make([]byte, capacity)
+		for i := 0; i < 40; i++ {
+			off := uint64(rng.Intn(capacity - 256))
+			n := rng.Intn(256) + 1
+			if rng.Intn(2) == 0 {
+				b := make([]byte, n)
+				rng.Read(b)
+				if err := d.Write(off, b); err != nil {
+					return false
+				}
+				copy(current[off:], b)
+			} else {
+				if err := d.Flush(off, uint64(n)); err != nil {
+					return false
+				}
+				d.Fence()
+				// Whole covering cachelines persist.
+				start := off &^ (CachelineSize - 1)
+				end := (off + uint64(n) + CachelineSize - 1) &^ (CachelineSize - 1)
+				copy(persisted[start:end], current[start:end])
+			}
+		}
+		if err := d.Crash(CrashPolicy{Mode: EvictNone}); err != nil {
+			return false
+		}
+		got := make([]byte, capacity)
+		if err := d.Read(0, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, persisted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

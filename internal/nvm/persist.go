@@ -1,0 +1,169 @@
+package nvm
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Image file format:
+//
+//	[8]  magic "NVMDEV1\n"
+//	[8]  capacity (little endian)
+//	then, for each materialised chunk: [8] chunk index, [ChunkSize] contents
+//	[8]  end marker ^uint64(0)
+//
+// Only the persistent image is saved: with crash tracking enabled, unflushed
+// stores do not survive a save/load cycle, exactly as they would not survive
+// a power cycle.
+
+var imageMagic = [8]byte{'N', 'V', 'M', 'D', 'E', 'V', '1', '\n'}
+
+const endMarker = ^uint64(0)
+
+// ErrBadImage reports a corrupt or foreign device image.
+var ErrBadImage = errors.New("nvm: bad device image")
+
+// SaveTo writes the persistent image of the device to w.
+func (d *Device) SaveTo(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [16]byte
+	copy(hdr[:8], imageMagic[:])
+	putU64(hdr[8:], d.capacity)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var idx [8]byte
+	for i := range d.chunks {
+		c := d.chunks[i].Load()
+		if c == nil {
+			continue
+		}
+		img := c.data
+		if d.tracking {
+			img = c.shadow
+		}
+		if allZero(img) {
+			continue
+		}
+		putU64(idx[:], uint64(i))
+		if _, err := bw.Write(idx[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(img); err != nil {
+			return err
+		}
+	}
+	putU64(idx[:], endMarker)
+	if _, err := bw.Write(idx[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadFrom restores a device from an image written by SaveTo. The device
+// options (capacity rounding, tracking, stats) come from opts; the image
+// capacity must match.
+func LoadFrom(r io.Reader, opts Options) (*Device, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadImage, err)
+	}
+	if [8]byte(hdr[:8]) != imageMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadImage)
+	}
+	capacity := getU64(hdr[8:])
+	if opts.Capacity == 0 {
+		opts.Capacity = capacity
+	}
+	d, err := NewDevice(opts)
+	if err != nil {
+		return nil, err
+	}
+	if d.capacity != capacity {
+		return nil, fmt.Errorf("%w: capacity mismatch: image %d, requested %d",
+			ErrBadImage, capacity, d.capacity)
+	}
+	var idx [8]byte
+	for {
+		if _, err := io.ReadFull(br, idx[:]); err != nil {
+			return nil, fmt.Errorf("%w: short chunk index: %v", ErrBadImage, err)
+		}
+		i := getU64(idx[:])
+		if i == endMarker {
+			return d, nil
+		}
+		if i >= uint64(len(d.chunks)) {
+			return nil, fmt.Errorf("%w: chunk index %d out of range", ErrBadImage, i)
+		}
+		c := d.materialise(i << chunkShift)
+		if _, err := io.ReadFull(br, c.data); err != nil {
+			return nil, fmt.Errorf("%w: short chunk data: %v", ErrBadImage, err)
+		}
+		if d.tracking {
+			copy(c.shadow, c.data)
+		}
+	}
+}
+
+// SaveFile writes the persistent image to path atomically (write to a
+// temporary file, then rename).
+func (d *Device) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".nvmdev-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := d.SaveTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile restores a device image from path.
+func LoadFile(path string, opts Options) (*Device, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadFrom(f, opts)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+func allZero(b []byte) bool {
+	for len(b) >= 8 {
+		if getU64(b) != 0 {
+			return false
+		}
+		b = b[8:]
+	}
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

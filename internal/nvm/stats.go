@@ -1,0 +1,34 @@
+package nvm
+
+import "sync/atomic"
+
+// Stats holds device operation counters. All fields are safe for concurrent
+// use; enable via Options.Stats.
+type Stats struct {
+	Writes       atomic.Uint64
+	BytesWritten atomic.Uint64
+	Flushes      atomic.Uint64 // cachelines flushed (clwb count)
+	Fences       atomic.Uint64 // ordering barriers (sfence count)
+}
+
+// StatsSnapshot is a copyable view of Stats.
+type StatsSnapshot struct {
+	Writes       uint64
+	BytesWritten uint64
+	Flushes      uint64
+	Fences       uint64
+}
+
+// StatsSnapshot returns the current counters, or a zero snapshot when stats
+// are disabled.
+func (d *Device) StatsSnapshot() StatsSnapshot {
+	if d.stats == nil {
+		return StatsSnapshot{}
+	}
+	return StatsSnapshot{
+		Writes:       d.stats.Writes.Load(),
+		BytesWritten: d.stats.BytesWritten.Load(),
+		Flushes:      d.stats.Flushes.Load(),
+		Fences:       d.stats.Fences.Load(),
+	}
+}

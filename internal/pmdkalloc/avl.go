@@ -1,0 +1,153 @@
+package pmdkalloc
+
+// avlTree is the DRAM-resident AVL tree of free chunk runs, keyed by run
+// length then start index — the global large-allocation index whose single
+// lock the paper identifies as a PMDK scalability bottleneck (§3.3). It is
+// deliberately a faithful balanced tree, not a map: the point of the
+// baseline is to reproduce the design, and the tree is also what PMDK's
+// own heap uses (ravl).
+type avlTree struct {
+	root *avlNode
+}
+
+type avlNode struct {
+	length, start uint64
+	left, right   *avlNode
+	height        int
+}
+
+type run struct{ start, length uint64 }
+
+func (t *avlTree) insert(r run) { t.root = avlInsert(t.root, r) }
+
+// removeBestFit removes and returns the smallest run with length ≥ n.
+func (t *avlTree) removeBestFit(n uint64) (run, bool) {
+	node := bestFit(t.root, n)
+	if node == nil {
+		return run{}, false
+	}
+	r := run{start: node.start, length: node.length}
+	t.root = avlDelete(t.root, r)
+	return r, true
+}
+
+// size returns the number of runs (test helper).
+func (t *avlTree) size() int { return avlCount(t.root) }
+
+// totalChunks returns the number of free chunks across all runs.
+func (t *avlTree) totalChunks() uint64 { return avlTotal(t.root) }
+
+func avlCount(n *avlNode) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + avlCount(n.left) + avlCount(n.right)
+}
+
+func avlTotal(n *avlNode) uint64 {
+	if n == nil {
+		return 0
+	}
+	return n.length + avlTotal(n.left) + avlTotal(n.right)
+}
+
+func less(aLen, aStart, bLen, bStart uint64) bool {
+	if aLen != bLen {
+		return aLen < bLen
+	}
+	return aStart < bStart
+}
+
+func height(n *avlNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func fix(n *avlNode) *avlNode {
+	n.height = 1 + max(height(n.left), height(n.right))
+	switch bf := height(n.left) - height(n.right); {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+func rotateRight(n *avlNode) *avlNode {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.height = 1 + max(height(n.left), height(n.right))
+	l.height = 1 + max(height(l.left), height(l.right))
+	return l
+}
+
+func rotateLeft(n *avlNode) *avlNode {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.height = 1 + max(height(n.left), height(n.right))
+	r.height = 1 + max(height(r.left), height(r.right))
+	return r
+}
+
+func avlInsert(n *avlNode, r run) *avlNode {
+	if n == nil {
+		return &avlNode{length: r.length, start: r.start, height: 1}
+	}
+	if less(r.length, r.start, n.length, n.start) {
+		n.left = avlInsert(n.left, r)
+	} else {
+		n.right = avlInsert(n.right, r)
+	}
+	return fix(n)
+}
+
+func avlDelete(n *avlNode, r run) *avlNode {
+	if n == nil {
+		return nil
+	}
+	switch {
+	case r.length == n.length && r.start == n.start:
+		if n.left == nil {
+			return n.right
+		}
+		if n.right == nil {
+			return n.left
+		}
+		succ := n.right
+		for succ.left != nil {
+			succ = succ.left
+		}
+		n.length, n.start = succ.length, succ.start
+		n.right = avlDelete(n.right, run{start: succ.start, length: succ.length})
+	case less(r.length, r.start, n.length, n.start):
+		n.left = avlDelete(n.left, r)
+	default:
+		n.right = avlDelete(n.right, r)
+	}
+	return fix(n)
+}
+
+// bestFit finds the smallest node with length ≥ n.
+func bestFit(node *avlNode, n uint64) *avlNode {
+	var best *avlNode
+	for node != nil {
+		if node.length >= n {
+			best = node
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return best
+}

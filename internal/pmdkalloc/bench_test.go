@@ -1,0 +1,32 @@
+package pmdkalloc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkAVLBestFit measures the tree-based free-chunk index at
+// increasing populations — the O(log n) metadata access Poseidon's
+// constant-time hash table replaces (§4.7). Pair with
+// memblock.BenchmarkLookup.
+func BenchmarkAVLBestFit(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("runs=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			var tr avlTree
+			for i := 0; i < n; i++ {
+				tr.insert(run{start: uint64(i) * 64, length: uint64(rng.Intn(32) + 1)})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				want := uint64(rng.Intn(32) + 1)
+				r, ok := tr.removeBestFit(want)
+				if !ok {
+					b.Fatal("tree drained")
+				}
+				tr.insert(r)
+			}
+		})
+	}
+}

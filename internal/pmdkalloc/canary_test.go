@@ -1,0 +1,128 @@
+package pmdkalloc
+
+import (
+	"errors"
+	"testing"
+
+	"poseidon/internal/alloc"
+)
+
+// The §8 hardening: with canaries on, the Figure 3 attacks are *detected*
+// — the corrupted free is skipped instead of clearing neighbours' bitmap
+// bits. Corruption no longer propagates; the block leaks, exactly as the
+// paper predicts for this mitigation.
+
+func newCanaryHeap(t *testing.T, capacity uint64) *Heap {
+	t.Helper()
+	h, err := New(Options{Capacity: capacity, Canary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestCanaryNormalOperationUnaffected(t *testing.T) {
+	h := newCanaryHeap(t, 8<<20)
+	th, _ := h.Thread(0)
+	defer th.Close()
+	var ptrs []alloc.Ptr
+	for i := 0; i < 500; i++ {
+		p, err := th.Alloc(uint64(64 + i%2048))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		if err := th.Free(p); err != nil {
+			t.Fatalf("legitimate free tripped: %v", err)
+		}
+	}
+	if h.CanaryTrips() != 0 {
+		t.Fatalf("%d false-positive canary trips", h.CanaryTrips())
+	}
+}
+
+func TestCanaryStopsOverlapAttack(t *testing.T) {
+	h := newCanaryHeap(t, 1<<20)
+	th, _ := h.Thread(0)
+	defer th.Close()
+	var ptrs []alloc.Ptr
+	for {
+		p, err := th.Alloc(64)
+		if errors.Is(err, alloc.ErrOutOfMemory) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	victim := ptrs[len(ptrs)/2+500]
+	// The Figure 3 (left) header corruption.
+	if err := h.Device().WriteU64(uint64(victim)-HeaderSize, 1088); err != nil {
+		t.Fatal(err)
+	}
+	err := th.Free(victim)
+	if !errors.Is(err, ErrCanaryTripped) {
+		t.Fatalf("corrupted free returned %v, want ErrCanaryTripped", err)
+	}
+	if h.CanaryTrips() != 1 {
+		t.Fatalf("trips = %d", h.CanaryTrips())
+	}
+	// No bitmap bits were cleared: the heap is still full, and crucially
+	// no allocation overlaps a live object.
+	if _, err := th.Alloc(64); !errors.Is(err, alloc.ErrOutOfMemory) {
+		t.Fatalf("allocation after skipped free: %v (corruption propagated)", err)
+	}
+}
+
+func TestCanaryStopsLeakAttackPropagation(t *testing.T) {
+	h := newCanaryHeap(t, 32<<20)
+	th, _ := h.Thread(0)
+	defer th.Close()
+	var ptrs []alloc.Ptr
+	for {
+		p, err := th.Alloc(2 << 20)
+		if errors.Is(err, alloc.ErrOutOfMemory) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	// Figure 3 (right): shrink every header, then free.
+	for _, p := range ptrs {
+		if err := h.Device().WriteU64(uint64(p)-HeaderSize, 64); err != nil {
+			t.Fatal(err)
+		}
+		if err := th.Free(p); !errors.Is(err, ErrCanaryTripped) {
+			t.Fatalf("corrupted free returned %v", err)
+		}
+	}
+	if int(h.CanaryTrips()) != len(ptrs) {
+		t.Fatalf("trips = %d, want %d", h.CanaryTrips(), len(ptrs))
+	}
+	// The chunk headers were never touched by the bad frees: the heap
+	// metadata stays consistent (every chunk still a valid large run).
+	for i, p := range ptrs {
+		chunk := (uint64(p) - HeaderSize - h.chunkBase) / ChunkSize
+		state, n, err := h.readChunkHdr(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if state != chunkLargeHead || n == 0 {
+			t.Fatalf("object %d: run header corrupted (state=%d)", i, state)
+		}
+	}
+}
+
+func TestCanaryOffPreservesVulnerability(t *testing.T) {
+	// Regression guard: without the option, the baseline must stay
+	// vulnerable (the Figure 3 tests depend on it).
+	h := newTestHeap(t, 1<<20)
+	if h.canary {
+		t.Fatal("canary on by default")
+	}
+}

@@ -1,0 +1,67 @@
+package pmdkalloc
+
+import "poseidon/internal/alloc"
+
+// handle is a per-thread view: PMDK maps it onto one of the 12 arenas.
+type handle struct {
+	h     *Heap
+	arena int
+}
+
+var _ alloc.Handle = (*handle)(nil)
+
+// Alloc implements alloc.Handle.
+func (t *handle) Alloc(size uint64) (alloc.Ptr, error) {
+	if size == 0 {
+		size = 1
+	}
+	var off uint64
+	var err error
+	if classOf(size) >= 0 {
+		off, err = t.h.allocSmall(t.h.arenas[t.arena], t.arena, size)
+	} else {
+		off, err = t.h.allocLarge(size)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return alloc.Ptr(off), nil
+}
+
+// Free implements alloc.Handle. PMDK performs no validation: a bad pointer
+// corrupts the heap rather than returning an error.
+func (t *handle) Free(p alloc.Ptr) error { return t.h.free(uint64(p)) }
+
+// Write implements alloc.Handle: a direct store into the mapped heap. The
+// region is uniformly writable — there is no metadata isolation, which is
+// exactly what the corruption demos exploit.
+func (t *handle) Write(p alloc.Ptr, off uint64, b []byte) error {
+	return t.h.dev.Write(uint64(p)+off, b)
+}
+
+// Read implements alloc.Handle.
+func (t *handle) Read(p alloc.Ptr, off uint64, b []byte) error {
+	return t.h.dev.Read(uint64(p)+off, b)
+}
+
+// WriteU64 implements alloc.Handle.
+func (t *handle) WriteU64(p alloc.Ptr, off uint64, v uint64) error {
+	return t.h.dev.WriteU64(uint64(p)+off, v)
+}
+
+// ReadU64 implements alloc.Handle.
+func (t *handle) ReadU64(p alloc.Ptr, off uint64) (uint64, error) {
+	return t.h.dev.ReadU64(uint64(p) + off)
+}
+
+// Persist implements alloc.Handle.
+func (t *handle) Persist(p alloc.Ptr, off, n uint64) error {
+	if err := t.h.dev.Flush(uint64(p)+off, n); err != nil {
+		return err
+	}
+	t.h.dev.Fence()
+	return nil
+}
+
+// Close implements alloc.Handle.
+func (t *handle) Close() {}

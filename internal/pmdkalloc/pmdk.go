@@ -1,0 +1,602 @@
+// Package pmdkalloc is a design-faithful reproduction of the PMDK
+// libpmemobj allocator, the paper's primary baseline (§2.2, §3). It
+// deliberately reproduces the mechanisms the paper analyses:
+//
+//   - In-place metadata: a 16-byte object header (size, status) sits
+//     immediately before every allocation in the user-writable region. The
+//     free path trusts that header, so a heap overflow that corrupts it
+//     causes overlapping allocations or permanent leaks (Figure 3).
+//   - A fixed pool of 12 arenas with DRAM free lists that are rebuilt by
+//     sequentially re-scanning chunk bitmaps whenever a list runs empty
+//     (§3.3) — rebuilds serialise on a global lock.
+//   - A single DRAM AVL tree, under one global lock, indexing free chunk
+//     runs for large allocations (§3.3).
+//   - A global action log batching free operations (§7.2) — every free
+//     takes the global log lock.
+//
+// No MPK protection, no free-validation: that is the point of the baseline.
+package pmdkalloc
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"poseidon/internal/alloc"
+	"poseidon/internal/nvm"
+)
+
+// ErrCanaryTripped reports a free skipped by the §8 canary hardening: the
+// in-place header was corrupted, and the free was dropped to stop the
+// corruption from propagating (the block itself leaks).
+var ErrCanaryTripped = errors.New("pmdkalloc: header canary tripped; free skipped")
+
+// Geometry constants (PMDK's actual chunk size is 256 KiB).
+const (
+	ChunkSize = 256 << 10
+	// HeaderSize is the in-place object header: [size u64][status u64].
+	HeaderSize = 16
+
+	bitmapBytes = 512 // 4096 bits, enough for the densest class
+	numArenas   = 12
+
+	numSmallClasses = 12 // 64 B … 128 KiB
+	largeThreshold  = 128 << 10
+
+	statusAllocated = 1
+	statusFree      = 0
+
+	// Chunk header states.
+	chunkFree      = 0
+	chunkSmallRun  = 1
+	chunkLargeHead = 2
+	chunkLargeCont = 3
+
+	heapMagic = 0x4b444d50 // "PMDK"
+
+	hdrPage        = 4096
+	actionLogLimit = 16
+)
+
+// Options configures the baseline heap.
+type Options struct {
+	// Capacity is the chunk-area size in bytes (rounded to whole chunks).
+	// Default 512 MiB.
+	Capacity uint64
+	// Arenas overrides the arena count (default 12, as in the paper).
+	Arenas int
+	// Canary enables the hardening the paper suggests for PMDK (§8): the
+	// in-place header carries a canary derived from the size and the slot
+	// address. A free whose header fails the check is skipped, stopping
+	// corruption from propagating into the allocation bitmaps — though the
+	// skipped block leaks, exactly as the paper predicts ("neither
+	// guarantees the metadata protection nor prevents persistent memory
+	// leak, it can mitigate the side effect").
+	Canary bool
+	// DeviceStats enables flush counters on the device.
+	DeviceStats bool
+}
+
+// Heap is a PMDK-like persistent heap.
+type Heap struct {
+	dev       *nvm.Device
+	nchunks   uint64
+	chunkBase uint64
+	arenas    []*arena
+	canary    bool
+
+	avlMu sync.Mutex
+	avl   avlTree
+
+	// chunkHdrMu is a leaf lock serialising chunk-header access: the
+	// sequential rebuild scans every header while claims and drains
+	// rewrite them (PMDK guards its zone metadata similarly).
+	chunkHdrMu sync.RWMutex
+
+	rebuildMu sync.Mutex // free-list rebuilds are sequential (§3.3)
+
+	actionMu      sync.Mutex // the global action log (§7.2)
+	pendingRuns   []run
+	pendingOther  int
+	actionCounter uint64
+
+	stats Stats
+
+	nextArena atomic.Uint32
+	closed    atomic.Bool
+}
+
+// Stats counts the baseline's characteristic events.
+type Stats struct {
+	Rebuilds     atomic.Uint64 // sequential free-list rebuilds
+	ChunkClaims  atomic.Uint64 // small-run chunks claimed from the AVL
+	LargeAllocs  atomic.Uint64
+	ActionDrains atomic.Uint64
+	CanaryTrips  atomic.Uint64 // frees skipped by a failed canary check
+}
+
+type arena struct {
+	mu        sync.Mutex
+	freeLists [numSmallClasses][]uint64 // device offsets of free slots
+}
+
+var _ alloc.Allocator = (*Heap)(nil)
+
+// classBlock returns the block size of a small class.
+func classBlock(class int) uint64 { return 64 << uint(class) }
+
+// classOf returns the small class for size, or -1 for the large path.
+func classOf(size uint64) int {
+	if size > largeThreshold {
+		return -1
+	}
+	if size <= 64 {
+		return 0
+	}
+	return bits.Len64(size-1) - 6
+}
+
+// slotStride is the distance between slots of a class (block + header).
+func slotStride(class int) uint64 { return classBlock(class) + HeaderSize }
+
+// slotsPerChunk returns how many slots of a class fit one chunk.
+func slotsPerChunk(class int) uint64 {
+	return (ChunkSize - bitmapBytes) / slotStride(class)
+}
+
+// New creates a fresh PMDK-like heap.
+func New(opts Options) (*Heap, error) {
+	if opts.Capacity == 0 {
+		opts.Capacity = 512 << 20
+	}
+	if opts.Arenas == 0 {
+		opts.Arenas = numArenas
+	}
+	nchunks := opts.Capacity / ChunkSize
+	if nchunks == 0 {
+		return nil, errors.New("pmdkalloc: capacity below one chunk")
+	}
+	chunkHdrBytes := (nchunks*16 + nvm.PageSize - 1) &^ (nvm.PageSize - 1)
+	chunkBase := uint64(hdrPage) + chunkHdrBytes
+	dev, err := nvm.NewDevice(nvm.Options{
+		Capacity: chunkBase + nchunks*ChunkSize,
+		Stats:    opts.DeviceStats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := &Heap{dev: dev, nchunks: nchunks, chunkBase: chunkBase, canary: opts.Canary}
+	if err := dev.PersistU64(0, heapMagic); err != nil {
+		return nil, err
+	}
+	if err := dev.PersistU64(8, nchunks); err != nil {
+		return nil, err
+	}
+	h.arenas = make([]*arena, opts.Arenas)
+	for i := range h.arenas {
+		h.arenas[i] = &arena{}
+	}
+	h.avl.insert(run{start: 0, length: nchunks})
+	return h, nil
+}
+
+// Name implements alloc.Allocator.
+func (h *Heap) Name() string { return "pmdk" }
+
+// Shards implements alloc.Allocator. PMDK's parallelism is its arena pool.
+func (h *Heap) Shards() int { return len(h.arenas) }
+
+// Device exposes the device (corruption demos write object headers through
+// it, exactly as a buggy program would through its mapped heap).
+func (h *Heap) Device() *nvm.Device { return h.dev }
+
+// StatsSnapshot returns characteristic-event counts.
+func (h *Heap) StatsSnapshot() (rebuilds, chunkClaims, largeAllocs, drains uint64) {
+	return h.stats.Rebuilds.Load(), h.stats.ChunkClaims.Load(),
+		h.stats.LargeAllocs.Load(), h.stats.ActionDrains.Load()
+}
+
+// CanaryTrips returns the number of frees dropped by the canary check.
+func (h *Heap) CanaryTrips() uint64 { return h.stats.CanaryTrips.Load() }
+
+// Close implements alloc.Allocator.
+func (h *Heap) Close() error {
+	h.closed.Store(true)
+	return nil
+}
+
+// Thread implements alloc.Allocator. PMDK maps threads onto its fixed
+// arena pool, so distinct shards share arenas once shard ≥ 12 — the
+// saturation the paper measures past 16–32 threads.
+func (h *Heap) Thread(shard int) (alloc.Handle, error) {
+	if h.closed.Load() {
+		return nil, errors.New("pmdkalloc: heap closed")
+	}
+	return &handle{h: h, arena: shard % len(h.arenas)}, nil
+}
+
+// chunkHdrOff returns the device offset of chunk i's header.
+func (h *Heap) chunkHdrOff(i uint64) uint64 { return hdrPage + i*16 }
+
+// chunkOff returns the device offset of chunk i's data.
+func (h *Heap) chunkOff(i uint64) uint64 { return h.chunkBase + i*ChunkSize }
+
+// writeChunkHdr persists a chunk header.
+func (h *Heap) writeChunkHdr(i uint64, state, aux uint64) error {
+	h.chunkHdrMu.Lock()
+	defer h.chunkHdrMu.Unlock()
+	if err := h.dev.WriteU64(h.chunkHdrOff(i), state); err != nil {
+		return err
+	}
+	if err := h.dev.WriteU64(h.chunkHdrOff(i)+8, aux); err != nil {
+		return err
+	}
+	if err := h.dev.Flush(h.chunkHdrOff(i), 16); err != nil {
+		return err
+	}
+	h.dev.Fence()
+	return nil
+}
+
+func (h *Heap) readChunkHdr(i uint64) (state, aux uint64, err error) {
+	h.chunkHdrMu.RLock()
+	defer h.chunkHdrMu.RUnlock()
+	state, err = h.dev.ReadU64(h.chunkHdrOff(i))
+	if err != nil {
+		return 0, 0, err
+	}
+	aux, err = h.dev.ReadU64(h.chunkHdrOff(i) + 8)
+	return state, aux, err
+}
+
+// logOp models libpmemobj's per-lane redo logging: every allocation and
+// free writes a redo record (offset + bitmap delta), persists it, applies
+// the change, and persists a commit word — two persist barriers per
+// operation on top of the data itself. Lanes live in the heap header page,
+// one per arena.
+func (h *Heap) logOp(arenaIdx int, a, b uint64) error {
+	lane := uint64(64 + (arenaIdx%len(h.arenas))*64)
+	if err := h.dev.WriteU64(lane, a); err != nil {
+		return err
+	}
+	if err := h.dev.WriteU64(lane+8, b); err != nil {
+		return err
+	}
+	if err := h.dev.Flush(lane, 16); err != nil {
+		return err
+	}
+	h.dev.Fence()
+	return h.dev.PersistU64(lane+24, a^b) // commit word
+}
+
+// canaryOf derives the header canary from the size and the slot address —
+// a stray write that changes the size (or lands in the wrong header) no
+// longer matches.
+func canaryOf(slotOff, size uint64) uint64 {
+	x := slotOff*0x9E3779B97F4A7C15 ^ size*0xFF51AFD7ED558CCD
+	x ^= x >> 29
+	return x &^ 0xFF // low byte carries the status
+}
+
+// writeObjHeader persists the in-place object header before a block. With
+// canaries enabled, the status word's upper bits carry the check value.
+func (h *Heap) writeObjHeader(slotOff, size, status uint64) error {
+	if err := h.dev.WriteU64(slotOff, size); err != nil {
+		return err
+	}
+	word := status
+	if h.canary {
+		word = status&0xFF | canaryOf(slotOff, size)
+	}
+	if err := h.dev.WriteU64(slotOff+8, word); err != nil {
+		return err
+	}
+	if err := h.dev.Flush(slotOff, HeaderSize); err != nil {
+		return err
+	}
+	h.dev.Fence()
+	return nil
+}
+
+// checkCanary validates a header about to be trusted by free. Only
+// meaningful when canaries are enabled.
+func (h *Heap) checkCanary(slotOff, size, statusWord uint64) bool {
+	if !h.canary {
+		return true
+	}
+	return statusWord&^0xFF == canaryOf(slotOff, size)
+}
+
+// bitOps set or clear allocation-bitmap bits and persist the touched words.
+func (h *Heap) setBits(chunk uint64, first, n uint64, set bool) error {
+	base := h.chunkOff(chunk)
+	for i := first; i < first+n; i++ {
+		wordOff := base + (i/64)*8
+		w, err := h.dev.ReadU64(wordOff)
+		if err != nil {
+			return err
+		}
+		if set {
+			w |= 1 << (i % 64)
+		} else {
+			w &^= 1 << (i % 64)
+		}
+		if err := h.dev.WriteU64(wordOff, w); err != nil {
+			return err
+		}
+		if err := h.dev.Flush(wordOff, 8); err != nil {
+			return err
+		}
+	}
+	h.dev.Fence()
+	return nil
+}
+
+func (h *Heap) testBit(chunk, i uint64) (bool, error) {
+	w, err := h.dev.ReadU64(h.chunkOff(chunk) + (i/64)*8)
+	if err != nil {
+		return false, err
+	}
+	return w&(1<<(i%64)) != 0, nil
+}
+
+// slotOff returns the device offset of slot i (its header) in a chunk.
+func (h *Heap) slotOff(chunk uint64, class int, i uint64) uint64 {
+	return h.chunkOff(chunk) + bitmapBytes + i*slotStride(class)
+}
+
+// claimChunk takes one free chunk from the global AVL tree and formats it
+// as a small run of the class, owned by the arena.
+func (h *Heap) claimChunk(class, arenaIdx int) (uint64, error) {
+	h.avlMu.Lock()
+	r, ok := h.avl.removeBestFit(1)
+	if !ok {
+		h.drainActionsLocked()
+		r, ok = h.avl.removeBestFit(1)
+	}
+	if ok && r.length > 1 {
+		h.avl.insert(run{start: r.start + 1, length: r.length - 1})
+	}
+	h.avlMu.Unlock()
+	if !ok {
+		return 0, alloc.ErrOutOfMemory
+	}
+	h.stats.ChunkClaims.Add(1)
+	chunk := r.start
+	// Zero the bitmap, then publish the chunk as a small run.
+	if err := h.dev.Zero(h.chunkOff(chunk), bitmapBytes); err != nil {
+		return 0, err
+	}
+	if err := h.dev.Flush(h.chunkOff(chunk), bitmapBytes); err != nil {
+		return 0, err
+	}
+	h.dev.Fence()
+	aux := uint64(class) | uint64(arenaIdx)<<32
+	if err := h.writeChunkHdr(chunk, chunkSmallRun, aux); err != nil {
+		return 0, err
+	}
+	return chunk, nil
+}
+
+// rebuild re-scans every chunk owned by the arena for clear bitmap bits and
+// refills the DRAM free list — PMDK's sequential rebuild (§3.3). The global
+// rebuild lock is the modeled serialisation.
+func (h *Heap) rebuild(a *arena, class, arenaIdx int) error {
+	h.rebuildMu.Lock()
+	defer h.rebuildMu.Unlock()
+	h.stats.Rebuilds.Add(1)
+	wantAux := uint64(class) | uint64(arenaIdx)<<32
+	for c := uint64(0); c < h.nchunks; c++ {
+		state, aux, err := h.readChunkHdr(c)
+		if err != nil {
+			return err
+		}
+		if state != chunkSmallRun || aux != wantAux {
+			continue
+		}
+		nslots := slotsPerChunk(class)
+		for i := uint64(0); i < nslots; i++ {
+			set, err := h.testBit(c, i)
+			if err != nil {
+				return err
+			}
+			if !set {
+				a.freeLists[class] = append(a.freeLists[class], h.slotOff(c, class, i))
+			}
+		}
+	}
+	return nil
+}
+
+// allocSmall serves size ≤ 128 KiB from the arena's class free list.
+func (h *Heap) allocSmall(a *arena, arenaIdx int, size uint64) (uint64, error) {
+	class := classOf(size)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	fl := &a.freeLists[class]
+	if len(*fl) == 0 {
+		if err := h.rebuild(a, class, arenaIdx); err != nil {
+			return 0, err
+		}
+	}
+	if len(*fl) == 0 {
+		chunk, err := h.claimChunk(class, arenaIdx)
+		if err != nil {
+			return 0, err
+		}
+		nslots := slotsPerChunk(class)
+		for i := uint64(0); i < nslots; i++ {
+			*fl = append(*fl, h.slotOff(chunk, class, i))
+		}
+	}
+	slot := (*fl)[len(*fl)-1]
+	*fl = (*fl)[:len(*fl)-1]
+
+	chunk := (slot - h.chunkBase) / ChunkSize
+	idx := (slot - h.chunkOff(chunk) - bitmapBytes) / slotStride(class)
+	if err := h.logOp(arenaIdx, slot, idx); err != nil {
+		return 0, err
+	}
+	if err := h.setBits(chunk, idx, 1, true); err != nil {
+		return 0, err
+	}
+	if err := h.writeObjHeader(slot, classBlock(class), statusAllocated); err != nil {
+		return 0, err
+	}
+	return slot + HeaderSize, nil
+}
+
+// allocLarge serves size > 128 KiB as a run of whole chunks through the
+// global AVL tree.
+func (h *Heap) allocLarge(size uint64) (uint64, error) {
+	n := (size + HeaderSize + ChunkSize - 1) / ChunkSize
+	h.avlMu.Lock()
+	r, ok := h.avl.removeBestFit(n)
+	if !ok {
+		h.drainActionsLocked()
+		r, ok = h.avl.removeBestFit(n)
+	}
+	if ok && r.length > n {
+		h.avl.insert(run{start: r.start + n, length: r.length - n})
+		r.length = n
+	}
+	h.avlMu.Unlock()
+	if !ok {
+		return 0, alloc.ErrOutOfMemory
+	}
+	h.stats.LargeAllocs.Add(1)
+	if err := h.writeChunkHdr(r.start, chunkLargeHead, n); err != nil {
+		return 0, err
+	}
+	for c := r.start + 1; c < r.start+n; c++ {
+		if err := h.writeChunkHdr(c, chunkLargeCont, 0); err != nil {
+			return 0, err
+		}
+	}
+	off := h.chunkOff(r.start)
+	if err := h.writeObjHeader(off, size, statusAllocated); err != nil {
+		return 0, err
+	}
+	return off + HeaderSize, nil
+}
+
+// free releases p. The size is read from the in-place header and TRUSTED —
+// faithfully reproducing the vulnerability of Figure 3. No invalid- or
+// double-free detection is performed.
+func (h *Heap) free(p uint64) error {
+	slot := p - HeaderSize
+	size, err := h.dev.ReadU64(slot) // the trusted, corruptible size
+	if err != nil {
+		return err
+	}
+	statusWord, err := h.dev.ReadU64(slot + 8)
+	if err != nil {
+		return err
+	}
+	if !h.checkCanary(slot, size, statusWord) {
+		// §8's mitigation: the header no longer matches its canary — skip
+		// the free so the corruption cannot propagate into the bitmaps.
+		// The block leaks, as the paper predicts.
+		h.stats.CanaryTrips.Add(1)
+		return ErrCanaryTripped
+	}
+	chunk := (slot - h.chunkBase) / ChunkSize
+	if chunk >= h.nchunks {
+		return fmt.Errorf("pmdkalloc: free of %#x outside heap", p)
+	}
+	state, aux, err := h.readChunkHdr(chunk)
+	if err != nil {
+		return err
+	}
+	switch state {
+	case chunkSmallRun:
+		class := int(aux & 0xFFFFFFFF)
+		arenaIdx := int(aux >> 32)
+		idx := (slot - h.chunkOff(chunk) - bitmapBytes) / slotStride(class)
+		// The corrupted size frees that many blocks' worth of bitmap —
+		// clearing neighbours' bits when it was enlarged (Figure 3 left).
+		nblocks := (size + classBlock(class) - 1) / classBlock(class)
+		if nblocks == 0 {
+			nblocks = 1
+		}
+		if idx+nblocks > slotsPerChunk(class) {
+			nblocks = slotsPerChunk(class) - idx
+		}
+		a := h.arenas[arenaIdx%len(h.arenas)]
+		a.mu.Lock()
+		err := h.logOp(arenaIdx, slot, idx)
+		if err == nil {
+			err = h.setBits(chunk, idx, nblocks, false)
+		}
+		if err == nil {
+			err = h.writeObjHeader(slot, size, statusFree)
+		}
+		a.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		// Deallocated space is NOT pushed to the DRAM free list — it is
+		// rediscovered by the next rebuild (§3.3).
+		return h.appendAction(run{})
+	case chunkLargeHead:
+		// The corrupted (shrunken) size frees fewer chunks than the run
+		// holds; the remainder is leaked permanently (Figure 3 right).
+		n := (size + HeaderSize + ChunkSize - 1) / ChunkSize
+		if chunk+n > h.nchunks {
+			n = h.nchunks - chunk
+		}
+		if err := h.writeObjHeader(slot, size, statusFree); err != nil {
+			return err
+		}
+		return h.appendAction(run{start: chunk, length: n})
+	default:
+		// Freeing into a free or continuation chunk: PMDK has no check
+		// here either; treat as a no-op header write (corrupting, but not
+		// crashing the harness).
+		return h.writeObjHeader(slot, size, statusFree)
+	}
+}
+
+// appendAction batches a free into the global action log (§7.2). Every
+// free contends on this lock; the log drains into the AVL at a threshold.
+// Lock order is always avlMu → actionMu.
+func (h *Heap) appendAction(r run) error {
+	h.actionMu.Lock()
+	if r.length > 0 {
+		h.pendingRuns = append(h.pendingRuns, r)
+	} else {
+		h.pendingOther++
+	}
+	h.actionCounter++
+	// Model the log's persistence: one persisted counter per append.
+	err := h.dev.PersistU64(16, h.actionCounter)
+	needDrain := len(h.pendingRuns)+h.pendingOther >= actionLogLimit
+	h.actionMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if needDrain {
+		h.avlMu.Lock()
+		h.drainActionsLocked()
+		h.avlMu.Unlock()
+	}
+	return nil
+}
+
+// drainActionsLocked applies pending large frees to the AVL tree. The
+// caller holds avlMu; actionMu is taken inside (avlMu → actionMu order).
+func (h *Heap) drainActionsLocked() {
+	h.actionMu.Lock()
+	defer h.actionMu.Unlock()
+	h.stats.ActionDrains.Add(1)
+	for _, r := range h.pendingRuns {
+		for c := r.start; c < r.start+r.length; c++ {
+			_ = h.writeChunkHdr(c, chunkFree, 0)
+		}
+		h.avl.insert(r)
+	}
+	h.pendingRuns = h.pendingRuns[:0]
+	h.pendingOther = 0
+}

@@ -1,0 +1,423 @@
+package pmdkalloc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"poseidon/internal/alloc"
+)
+
+func newTestHeap(t *testing.T, capacity uint64) *Heap {
+	t.Helper()
+	h, err := New(Options{Capacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestClassOf(t *testing.T) {
+	tests := []struct {
+		size uint64
+		want int
+	}{
+		{1, 0}, {64, 0}, {65, 1}, {128, 1}, {4096, 6},
+		{128 << 10, 11}, {128<<10 + 1, -1}, {2 << 20, -1},
+	}
+	for _, tt := range tests {
+		if got := classOf(tt.size); got != tt.want {
+			t.Errorf("classOf(%d) = %d, want %d", tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	h := newTestHeap(t, 8<<20)
+	th, err := h.Thread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Close()
+	p, err := th.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("pmdk baseline data")
+	if err := th.Write(p, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Persist(p, 0, uint64(len(want))); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := th.Read(p, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("data mismatch")
+	}
+	if err := th.Free(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallAllocationsDistinct(t *testing.T) {
+	h := newTestHeap(t, 8<<20)
+	th, _ := h.Thread(0)
+	defer th.Close()
+	seen := map[alloc.Ptr]bool{}
+	for i := 0; i < 1000; i++ {
+		p, err := th.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[p] {
+			t.Fatalf("pointer %#x handed out twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestLargeAllocation(t *testing.T) {
+	h := newTestHeap(t, 32<<20)
+	th, _ := h.Thread(0)
+	defer th.Close()
+	p, err := th.Alloc(2 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.WriteU64(p, 2<<20-8, 99); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := th.ReadU64(p, 2<<20-8); v != 99 {
+		t.Fatalf("tail word = %d", v)
+	}
+	if err := th.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	// After enough frees the action log drains and the space is reusable.
+	for i := 0; i < actionLogLimit; i++ {
+		q, err := th.Alloc(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := th.Free(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := th.Alloc(2 << 20); err != nil {
+		t.Fatalf("large space not recycled: %v", err)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	h := newTestHeap(t, 1<<20) // 4 chunks
+	th, _ := h.Thread(0)
+	defer th.Close()
+	n := 0
+	for {
+		_, err := th.Alloc(64 << 10)
+		if errors.Is(err, alloc.ErrOutOfMemory) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n > 100 {
+			t.Fatal("never exhausted")
+		}
+	}
+	if n == 0 {
+		t.Fatal("no allocations succeeded")
+	}
+}
+
+func TestFreeListRebuildRecyclesMemory(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	th, _ := h.Thread(0)
+	defer th.Close()
+	// Exhaust, free everything, exhaust again: the rebuild (not the free)
+	// must rediscover the space.
+	var ptrs []alloc.Ptr
+	for {
+		p, err := th.Alloc(4096)
+		if errors.Is(err, alloc.ErrOutOfMemory) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		if err := th.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rebuildsBefore, _, _, _ := h.StatsSnapshot()
+	count := 0
+	for {
+		_, err := th.Alloc(4096)
+		if errors.Is(err, alloc.ErrOutOfMemory) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != len(ptrs) {
+		t.Fatalf("recycled %d blocks, want %d", count, len(ptrs))
+	}
+	rebuildsAfter, _, _, _ := h.StatsSnapshot()
+	if rebuildsAfter == rebuildsBefore {
+		t.Fatal("no rebuild happened (free list should start empty)")
+	}
+}
+
+func TestConcurrentSmallAllocs(t *testing.T) {
+	h := newTestHeap(t, 64<<20)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := map[alloc.Ptr]bool{}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th, err := h.Thread(w)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer th.Close()
+			rng := rand.New(rand.NewSource(int64(w)))
+			local := make([]alloc.Ptr, 0, 64)
+			for i := 0; i < 300; i++ {
+				if len(local) > 32 {
+					p := local[rng.Intn(len(local))]
+					_ = p // frees interleave below
+				}
+				p, err := th.Alloc(uint64(rng.Intn(1024) + 1))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				local = append(local, p)
+			}
+			mu.Lock()
+			for _, p := range local {
+				if seen[p] {
+					t.Errorf("pointer %#x handed out twice across threads", p)
+				}
+				seen[p] = true
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestFigure3OverlappingAllocation reproduces the left half of Figure 3: a
+// heap overflow corrupts an object header's size to a larger value; the
+// free then clears neighbours' allocation bits, and subsequent allocations
+// hand out already-allocated memory — silent user data corruption.
+func TestFigure3OverlappingAllocation(t *testing.T) {
+	h := newTestHeap(t, 1<<20)
+	th, _ := h.Thread(0)
+	defer th.Close()
+
+	// Fill the heap with 64-byte objects.
+	var ptrs []alloc.Ptr
+	for {
+		p, err := th.Alloc(64)
+		if errors.Is(err, alloc.ErrOutOfMemory) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	if len(ptrs) < 100 {
+		t.Fatalf("only %d objects", len(ptrs))
+	}
+	live := map[alloc.Ptr]bool{}
+	for _, p := range ptrs {
+		live[p] = true
+	}
+
+	// The "program bug": overwrite the in-place header of one object,
+	// enlarging its recorded size — a single stray 8-byte store. (Offset
+	// the victim away from a chunk boundary so the 17 corrupted blocks
+	// stay in one chunk, as in the paper's layout.)
+	victim := ptrs[len(ptrs)/2+500]
+	if err := h.Device().WriteU64(uint64(victim)-HeaderSize, 1088); err != nil {
+		t.Fatal(err)
+	}
+	delete(live, victim)
+	if err := th.Free(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only one object was freed, so only one allocation should succeed.
+	// Instead, the corrupted free cleared 1088/64 = 17 bitmap bits.
+	var reallocated []alloc.Ptr
+	for {
+		p, err := th.Alloc(64)
+		if errors.Is(err, alloc.ErrOutOfMemory) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		reallocated = append(reallocated, p)
+	}
+	if len(reallocated) != 17 {
+		t.Fatalf("re-allocated %d objects after freeing one, want the corrupted 17", len(reallocated))
+	}
+	overlaps := 0
+	for _, p := range reallocated {
+		if live[p] {
+			overlaps++ // handed out memory that is still allocated!
+		}
+	}
+	if overlaps != 16 {
+		t.Fatalf("%d overlapping allocations, want 16 (silent data corruption)", overlaps)
+	}
+}
+
+// TestFigure3PermanentLeak reproduces the right half of Figure 3: headers
+// of 2 MiB objects are corrupted to a smaller size before freeing; PMDK
+// frees only part of each run, permanently leaking the rest.
+func TestFigure3PermanentLeak(t *testing.T) {
+	h := newTestHeap(t, 32<<20)
+	th, _ := h.Thread(0)
+	defer th.Close()
+
+	// Fill the heap with 2 MiB objects.
+	var ptrs []alloc.Ptr
+	for {
+		p, err := th.Alloc(2 << 20)
+		if errors.Is(err, alloc.ErrOutOfMemory) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	nalloc := len(ptrs)
+	if nalloc < 4 {
+		t.Fatalf("only %d objects", nalloc)
+	}
+
+	// Corrupt every header to 64 bytes, then free everything.
+	for _, p := range ptrs {
+		if err := h.Device().WriteU64(uint64(p)-HeaderSize, 64); err != nil {
+			t.Fatal(err)
+		}
+		if err := th.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// All objects were freed, so the same number should be allocatable.
+	// Instead each free released only 1 of its 9 chunks: permanent leak.
+	count := 0
+	for {
+		_, err := th.Alloc(2 << 20)
+		if errors.Is(err, alloc.ErrOutOfMemory) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count >= nalloc {
+		t.Fatalf("re-allocated %d of %d — no leak?", count, nalloc)
+	}
+	if count != 0 {
+		t.Logf("re-allocated %d of %d (leaked the rest)", count, nalloc)
+	}
+}
+
+func TestAVLTree(t *testing.T) {
+	var tr avlTree
+	// Insert runs of varying lengths.
+	runs := []run{{0, 5}, {10, 2}, {20, 8}, {30, 2}, {40, 1}, {50, 16}}
+	for _, r := range runs {
+		tr.insert(r)
+	}
+	if tr.size() != len(runs) {
+		t.Fatalf("size = %d", tr.size())
+	}
+	if got := tr.totalChunks(); got != 34 {
+		t.Fatalf("total = %d", got)
+	}
+	// Best fit picks the smallest adequate run.
+	r, ok := tr.removeBestFit(3)
+	if !ok || r.length != 5 {
+		t.Fatalf("bestFit(3) = %+v, %v", r, ok)
+	}
+	r, ok = tr.removeBestFit(2)
+	if !ok || r.length != 2 {
+		t.Fatalf("bestFit(2) = %+v, %v", r, ok)
+	}
+	// Exhaust.
+	for {
+		if _, ok := tr.removeBestFit(1); !ok {
+			break
+		}
+	}
+	if tr.size() != 0 {
+		t.Fatalf("size after drain = %d", tr.size())
+	}
+	if _, ok := tr.removeBestFit(1); ok {
+		t.Fatal("empty tree returned a run")
+	}
+}
+
+func TestAVLTreeRandomised(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var tr avlTree
+	model := map[uint64]uint64{} // start -> length
+	next := uint64(0)
+	for i := 0; i < 2000; i++ {
+		if rng.Intn(2) == 0 || len(model) == 0 {
+			length := uint64(rng.Intn(16) + 1)
+			tr.insert(run{start: next, length: length})
+			model[next] = length
+			next += length
+		} else {
+			want := uint64(rng.Intn(16) + 1)
+			r, ok := tr.removeBestFit(want)
+			// Model check: is there any run ≥ want?
+			var bestLen uint64
+			for _, l := range model {
+				if l >= want && (bestLen == 0 || l < bestLen) {
+					bestLen = l
+				}
+			}
+			if (bestLen != 0) != ok {
+				t.Fatalf("step %d: ok=%v, model best=%d", i, ok, bestLen)
+			}
+			if ok {
+				if model[r.start] != r.length {
+					t.Fatalf("step %d: removed unknown run %+v", i, r)
+				}
+				if r.length != bestLen {
+					t.Fatalf("step %d: removed length %d, best fit is %d", i, r.length, bestLen)
+				}
+				delete(model, r.start)
+			}
+		}
+	}
+	if tr.size() != len(model) {
+		t.Fatalf("size %d, model %d", tr.size(), len(model))
+	}
+}

@@ -1,0 +1,44 @@
+package pmdkalloc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkRebuildVsPoolSize measures the free-list rebuild the paper's
+// §3.3 identifies as PMDK's scalability problem: when an arena's DRAM
+// free list runs dry, the allocator re-scans every chunk header in the
+// pool. The cost grows linearly with pool size — with the same live data.
+// Contrast memblock.BenchmarkLookupVsPoolSize (Poseidon's pool-size-
+// independent metadata access).
+func BenchmarkRebuildVsPoolSize(b *testing.B) {
+	for _, capacity := range []uint64{64 << 20, 512 << 20, 4 << 30} {
+		b.Run(fmt.Sprintf("pool=%dMiB", capacity>>20), func(b *testing.B) {
+			h, err := New(Options{Capacity: capacity})
+			if err != nil {
+				b.Fatal(err)
+			}
+			th, err := h.Thread(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer th.Close()
+			// A small fixed working set, whatever the pool size.
+			for i := 0; i < 100; i++ {
+				if _, err := th.Alloc(64); err != nil {
+					b.Fatal(err)
+				}
+			}
+			a := h.arenas[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.mu.Lock()
+				a.freeLists[0] = a.freeLists[0][:0] // force the rescan
+				if err := h.rebuild(a, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+				a.mu.Unlock()
+			}
+		})
+	}
+}

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hardens the trace parser against arbitrary input: it must
+// either return a valid trace (that re-encodes and re-decodes to itself)
+// or an error — never panic.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte("poseidon-trace v1 threads=2\na 0 1 64\nf 1 1\n"))
+	f.Add([]byte("poseidon-trace v1 threads=1\n# comment\na 0 9 8\n"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte("poseidon-trace v1 threads=0\n"))
+	f.Add([]byte("poseidon-trace v1 threads=4\nf 0 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Decode returned an invalid trace: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(back.Events) != len(tr.Events) || back.Threads != tr.Threads {
+			t.Fatal("decode∘encode not idempotent")
+		}
+	})
+}

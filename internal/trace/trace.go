@@ -1,0 +1,225 @@
+// Package trace records, synthesizes and replays allocation traces: a
+// portable text format of alloc/free events over multiple threads that can
+// be replayed against any allocator in the repository. Traces make
+// allocator comparisons exactly repeatable (the same object lifetimes and
+// sizes, byte for byte) and support differential testing: one trace, three
+// allocators, identical semantic outcomes required.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Op is an event kind.
+type Op uint8
+
+// Event kinds.
+const (
+	OpAlloc Op = iota + 1
+	OpFree
+)
+
+// Event is one allocator operation. IDs name objects: an alloc binds the
+// ID, the matching free releases it. Thread is the worker that executes
+// the event; a free may run on a different thread than the alloc
+// (cross-thread frees, as in Larson).
+type Event struct {
+	Op     Op
+	Thread uint32
+	ID     uint64
+	Size   uint64 // alloc only
+}
+
+// Trace is an ordered multi-thread event list. Events of one thread
+// execute in order; events of different threads may interleave, except
+// that a free never starts before its alloc completed (Replay enforces
+// this with object-level synchronisation).
+type Trace struct {
+	Threads int
+	Events  []Event
+}
+
+// ErrBadTrace reports a malformed trace file or an inconsistent event
+// sequence.
+var ErrBadTrace = errors.New("trace: malformed trace")
+
+// Validate checks trace consistency: every ID is allocated exactly once
+// before it is freed at most once, and thread indexes are in range.
+func (tr *Trace) Validate() error {
+	state := make(map[uint64]int, len(tr.Events)/2) // 1=live, 2=freed
+	for i, e := range tr.Events {
+		if int(e.Thread) >= tr.Threads {
+			return fmt.Errorf("%w: event %d: thread %d of %d", ErrBadTrace, i, e.Thread, tr.Threads)
+		}
+		switch e.Op {
+		case OpAlloc:
+			if e.Size == 0 {
+				return fmt.Errorf("%w: event %d: zero-size alloc", ErrBadTrace, i)
+			}
+			if state[e.ID] != 0 {
+				return fmt.Errorf("%w: event %d: id %d reused", ErrBadTrace, i, e.ID)
+			}
+			state[e.ID] = 1
+		case OpFree:
+			if state[e.ID] != 1 {
+				return fmt.Errorf("%w: event %d: free of id %d in state %d", ErrBadTrace, i, e.ID, state[e.ID])
+			}
+			state[e.ID] = 2
+		default:
+			return fmt.Errorf("%w: event %d: op %d", ErrBadTrace, i, e.Op)
+		}
+	}
+	return nil
+}
+
+// Encode writes the trace in its text format:
+//
+//	poseidon-trace v1 threads=<n>
+//	a <thread> <id> <size>
+//	f <thread> <id>
+func (tr *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "poseidon-trace v1 threads=%d\n", tr.Threads); err != nil {
+		return err
+	}
+	for _, e := range tr.Events {
+		var err error
+		switch e.Op {
+		case OpAlloc:
+			_, err = fmt.Fprintf(bw, "a %d %d %d\n", e.Thread, e.ID, e.Size)
+		case OpFree:
+			_, err = fmt.Fprintf(bw, "f %d %d\n", e.Thread, e.ID)
+		default:
+			err = fmt.Errorf("%w: op %d", ErrBadTrace, e.Op)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses a trace and validates it.
+func Decode(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: missing header", ErrBadTrace)
+	}
+	header := sc.Text()
+	var threads int
+	if _, err := fmt.Sscanf(header, "poseidon-trace v1 threads=%d", &threads); err != nil || threads < 1 {
+		return nil, fmt.Errorf("%w: bad header %q", ErrBadTrace, header)
+	}
+	tr := &Trace{Threads: threads}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		parse := func(s string) (uint64, error) { return strconv.ParseUint(s, 10, 64) }
+		switch {
+		case fields[0] == "a" && len(fields) == 4:
+			th, err1 := parse(fields[1])
+			id, err2 := parse(fields[2])
+			size, err3 := parse(fields[3])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("%w: line %d", ErrBadTrace, line)
+			}
+			tr.Events = append(tr.Events, Event{Op: OpAlloc, Thread: uint32(th), ID: id, Size: size})
+		case fields[0] == "f" && len(fields) == 3:
+			th, err1 := parse(fields[1])
+			id, err2 := parse(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("%w: line %d", ErrBadTrace, line)
+			}
+			tr.Events = append(tr.Events, Event{Op: OpFree, Thread: uint32(th), ID: id})
+		default:
+			return nil, fmt.Errorf("%w: line %d: %q", ErrBadTrace, line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// SynthConfig parameterises Synthesize.
+type SynthConfig struct {
+	Threads int
+	// OpsPerThread is the number of events each thread executes.
+	OpsPerThread int
+	// MinSize and MaxSize bound object sizes.
+	MinSize, MaxSize uint64
+	// LiveTarget is the live-object count each thread hovers around.
+	LiveTarget int
+	// CrossFreePct is the percentage of frees executed by a different
+	// thread than the allocator of the object (Larson-style).
+	CrossFreePct int
+	Seed         int64
+}
+
+// Synthesize generates a random, valid trace.
+func Synthesize(cfg SynthConfig) *Trace {
+	if cfg.Threads == 0 {
+		cfg.Threads = 1
+	}
+	if cfg.OpsPerThread == 0 {
+		cfg.OpsPerThread = 1000
+	}
+	if cfg.MinSize == 0 {
+		cfg.MinSize = 16
+	}
+	if cfg.MaxSize < cfg.MinSize {
+		cfg.MaxSize = cfg.MinSize + 1024
+	}
+	if cfg.LiveTarget == 0 {
+		cfg.LiveTarget = 64
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{Threads: cfg.Threads}
+	nextID := uint64(1)
+	live := make([][]uint64, cfg.Threads) // ids allocated, not yet freed
+	// Interleave rounds across threads so the trace has realistic mixing.
+	for op := 0; op < cfg.OpsPerThread; op++ {
+		for th := 0; th < cfg.Threads; th++ {
+			doFree := len(live[th]) > 0 &&
+				(len(live[th]) >= cfg.LiveTarget || rng.Intn(2) == 0)
+			if doFree {
+				k := rng.Intn(len(live[th]))
+				id := live[th][k]
+				live[th][k] = live[th][len(live[th])-1]
+				live[th] = live[th][:len(live[th])-1]
+				freer := uint32(th)
+				if rng.Intn(100) < cfg.CrossFreePct {
+					freer = uint32(rng.Intn(cfg.Threads))
+				}
+				tr.Events = append(tr.Events, Event{Op: OpFree, Thread: freer, ID: id})
+			} else {
+				size := cfg.MinSize + uint64(rng.Int63n(int64(cfg.MaxSize-cfg.MinSize+1)))
+				tr.Events = append(tr.Events, Event{Op: OpAlloc, Thread: uint32(th), ID: nextID, Size: size})
+				live[th] = append(live[th], nextID)
+				nextID++
+			}
+		}
+	}
+	// Drain: free everything still live (on the owning thread).
+	for th := range live {
+		for _, id := range live[th] {
+			tr.Events = append(tr.Events, Event{Op: OpFree, Thread: uint32(th), ID: id})
+		}
+	}
+	return tr
+}

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"poseidon/internal/benchutil"
+)
+
+func TestSynthesizeIsValid(t *testing.T) {
+	tr := Synthesize(SynthConfig{
+		Threads:      4,
+		OpsPerThread: 500,
+		CrossFreePct: 30,
+		Seed:         1,
+	})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Drained: alloc count == free count.
+	var allocs, frees int
+	for _, e := range tr.Events {
+		switch e.Op {
+		case OpAlloc:
+			allocs++
+		case OpFree:
+			frees++
+		}
+	}
+	if allocs != frees {
+		t.Fatalf("allocs %d != frees %d", allocs, frees)
+	}
+	if allocs == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := Synthesize(SynthConfig{Threads: 3, OpsPerThread: 100, CrossFreePct: 50, Seed: 7})
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Threads != tr.Threads || len(back.Events) != len(tr.Events) {
+		t.Fatalf("shape changed: %d/%d events, %d/%d threads",
+			len(back.Events), len(tr.Events), back.Threads, tr.Threads)
+	}
+	for i := range tr.Events {
+		if back.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, back.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"not a header\n",
+		"poseidon-trace v1 threads=0\n",
+		"poseidon-trace v1 threads=2\nx 1 2 3\n",
+		"poseidon-trace v1 threads=2\na 1 1\n",             // short alloc
+		"poseidon-trace v1 threads=2\nf 0 1\n",             // free before alloc
+		"poseidon-trace v1 threads=2\na 5 1 64\n",          // thread out of range
+		"poseidon-trace v1 threads=2\na 0 1 64\na 0 1 8\n", // id reuse
+		"poseidon-trace v1 threads=2\na 0 1 0\n",           // zero size
+	}
+	for i, s := range bad {
+		if _, err := Decode(strings.NewReader(s)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("case %d: err = %v, want ErrBadTrace", i, err)
+		}
+	}
+}
+
+func TestDecodeSkipsCommentsAndBlanks(t *testing.T) {
+	src := "poseidon-trace v1 threads=1\n# comment\n\na 0 1 64\nf 0 1\n"
+	tr, err := Decode(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 2 {
+		t.Fatalf("events = %d", len(tr.Events))
+	}
+}
+
+// Differential test: the same trace must replay cleanly (no overlaps, no
+// failed frees) on all three allocators.
+func TestReplayDifferential(t *testing.T) {
+	tr := Synthesize(SynthConfig{
+		Threads:      4,
+		OpsPerThread: 400,
+		MinSize:      16,
+		MaxSize:      2048,
+		LiveTarget:   48,
+		CrossFreePct: 25,
+		Seed:         11,
+	})
+	for _, name := range benchutil.AllocatorNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, err := benchutil.NewAllocator(name, benchutil.Config{Threads: 4, HeapBytes: 64 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+			res, err := Replay(a, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != uint64(len(tr.Events)) {
+				t.Fatalf("replayed %d of %d events", res.Ops, len(tr.Events))
+			}
+			if res.OpsPerSec() <= 0 {
+				t.Fatal("bad throughput")
+			}
+		})
+	}
+}
+
+func TestReplayLargeSizesDifferential(t *testing.T) {
+	// Exercise the large paths of all allocators with one trace.
+	tr := Synthesize(SynthConfig{
+		Threads:      2,
+		OpsPerThread: 100,
+		MinSize:      4 << 10,
+		MaxSize:      1 << 20,
+		LiveTarget:   8,
+		CrossFreePct: 50,
+		Seed:         3,
+	})
+	for _, name := range benchutil.AllocatorNames {
+		a, err := benchutil.NewAllocator(name, benchutil.Config{Threads: 2, HeapBytes: 256 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Replay(a, tr); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		_ = a.Close()
+	}
+}
+
+func TestReplayRejectsInvalidTrace(t *testing.T) {
+	a, err := benchutil.NewAllocator("poseidon", benchutil.Config{Threads: 1, HeapBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	bad := &Trace{Threads: 1, Events: []Event{{Op: OpFree, Thread: 0, ID: 1}}}
+	if _, err := Replay(a, bad); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package workloads implements the paper's real-world, high-performance
+// benchmarks (Figure 8): Ackermann, Kruskal minimum-spanning-tree, and
+// N-Queens. Each iteration allocates working memory from the allocator
+// under test, computes in it through the allocator's data path, and frees
+// it — the alloc/compute/free cycle the paper uses to show allocator costs
+// inside computation-heavy applications (§7.4).
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"poseidon/internal/alloc"
+)
+
+// Ackermann runs iters cycles of: allocate a memo region, fill it with
+// Ackermann values computed with memoization through the region, free it.
+// The paper allocates 1 GiB and memoises up to A(4,5); regionSize scales
+// that down for laptop runs (the allocator work per cycle — one large
+// alloc + free — is identical in shape).
+func Ackermann(h alloc.Handle, regionSize uint64, iters int) (uint64, error) {
+	if regionSize < 4096 {
+		return 0, fmt.Errorf("workloads: ackermann region %d too small", regionSize)
+	}
+	// The memo table holds A(m, n) for m ≤ 3; rows sized to the region.
+	cols := (regionSize/8 - 8) / 4
+	if cols > 4096 {
+		cols = 4096 // A(3, n) grows as 2^(n+3); deeper rows add no coverage
+	}
+	var ops uint64
+	for it := 0; it < iters; it++ {
+		p, err := h.Alloc(regionSize)
+		if err != nil {
+			return ops, err
+		}
+		ops++
+		memoOff := func(m, n uint64) uint64 { return (m*cols + n) * 8 }
+		// memo[x] == 0 means "unknown"; stored value is A(m,n)+1.
+		var ack func(m, n uint64) (uint64, error)
+		var depth int
+		ack = func(m, n uint64) (uint64, error) {
+			depth++
+			defer func() { depth-- }()
+			if depth > 1_000_000 {
+				return 0, fmt.Errorf("workloads: ackermann recursion blew up")
+			}
+			if m == 0 {
+				return n + 1, nil
+			}
+			memoised := m <= 3 && n < cols
+			if memoised {
+				v, err := h.ReadU64(p, memoOff(m, n))
+				if err != nil {
+					return 0, err
+				}
+				if v != 0 {
+					return v - 1, nil
+				}
+			}
+			var r uint64
+			var err error
+			if n == 0 {
+				r, err = ack(m-1, 1)
+			} else {
+				var inner uint64
+				inner, err = ack(m, n-1)
+				if err == nil {
+					r, err = ack(m-1, inner)
+				}
+			}
+			if err != nil {
+				return 0, err
+			}
+			if memoised {
+				if err := h.WriteU64(p, memoOff(m, n), r+1); err != nil {
+					return 0, err
+				}
+			}
+			return r, nil
+		}
+		// Fill rows m ≤ 3 for modest n (A(3,8)=2045 keeps runtime sane).
+		for n := uint64(0); n <= 8; n++ {
+			if _, err := ack(3, n); err != nil {
+				return ops, err
+			}
+		}
+		if err := h.Persist(p, 0, 4*cols*8); err != nil {
+			return ops, err
+		}
+		if err := h.Free(p); err != nil {
+			return ops, err
+		}
+		ops++
+	}
+	return ops, nil
+}
+
+// Kruskal runs iters cycles of the paper's Kruskal benchmark: three 512 B
+// allocations hold the edge list, the union-find state and the MST output
+// of an order-5 random graph; the MST is solved and the memory freed
+// (§7.4: "three allocations of 512 bytes ... repeating the process").
+func Kruskal(h alloc.Handle, iters int, seed int64) (uint64, error) {
+	const (
+		order     = 5
+		allocSize = 512
+	)
+	rng := rand.New(rand.NewSource(seed))
+	var ops uint64
+	for it := 0; it < iters; it++ {
+		edgesP, err := h.Alloc(allocSize)
+		if err != nil {
+			return ops, err
+		}
+		ufP, err := h.Alloc(allocSize)
+		if err != nil {
+			return ops, err
+		}
+		mstP, err := h.Alloc(allocSize)
+		if err != nil {
+			return ops, err
+		}
+		ops += 3
+
+		// Complete graph on 5 vertices: 10 edges with random weights,
+		// written into the edge block as (weight<<16 | u<<8 | v).
+		type edge struct{ w, u, v uint64 }
+		edges := make([]edge, 0, order*(order-1)/2)
+		for u := uint64(0); u < order; u++ {
+			for v := u + 1; v < order; v++ {
+				edges = append(edges, edge{w: uint64(rng.Intn(1000)), u: u, v: v})
+			}
+		}
+		for i, e := range edges {
+			if err := h.WriteU64(edgesP, uint64(i)*8, e.w<<16|e.u<<8|e.v); err != nil {
+				return ops, err
+			}
+		}
+		sort.Slice(edges, func(i, j int) bool { return edges[i].w < edges[j].w })
+
+		// Union-find lives in its block.
+		for v := uint64(0); v < order; v++ {
+			if err := h.WriteU64(ufP, v*8, v); err != nil {
+				return ops, err
+			}
+		}
+		find := func(v uint64) (uint64, error) {
+			for {
+				parent, err := h.ReadU64(ufP, v*8)
+				if err != nil {
+					return 0, err
+				}
+				if parent == v {
+					return v, nil
+				}
+				v = parent
+			}
+		}
+		picked := 0
+		var weight uint64
+		for _, e := range edges {
+			ru, err := find(e.u)
+			if err != nil {
+				return ops, err
+			}
+			rv, err := find(e.v)
+			if err != nil {
+				return ops, err
+			}
+			if ru == rv {
+				continue
+			}
+			if err := h.WriteU64(ufP, ru*8, rv); err != nil {
+				return ops, err
+			}
+			if err := h.WriteU64(mstP, uint64(picked)*8, e.w<<16|e.u<<8|e.v); err != nil {
+				return ops, err
+			}
+			weight += e.w
+			picked++
+		}
+		if picked != order-1 {
+			return ops, fmt.Errorf("workloads: kruskal picked %d edges, want %d", picked, order-1)
+		}
+		if err := h.Persist(mstP, 0, uint64(picked)*8); err != nil {
+			return ops, err
+		}
+		for _, p := range []alloc.Ptr{edgesP, ufP, mstP} {
+			if err := h.Free(p); err != nil {
+				return ops, err
+			}
+			ops++
+		}
+	}
+	return ops, nil
+}
+
+// NQueens runs iters cycles of the paper's N-Queens benchmark: one 32 B
+// allocation holds the solver state/result for an 8×8 board; the puzzle is
+// solved and the block freed (§7.4).
+func NQueens(h alloc.Handle, iters int) (uint64, error) {
+	const n = 8
+	var ops uint64
+	for it := 0; it < iters; it++ {
+		p, err := h.Alloc(32)
+		if err != nil {
+			return ops, err
+		}
+		ops++
+		solutions := countQueens(n, 0, 0, 0, 0)
+		if solutions != 92 {
+			return ops, fmt.Errorf("workloads: 8-queens found %d solutions, want 92", solutions)
+		}
+		if err := h.WriteU64(p, 0, solutions); err != nil {
+			return ops, err
+		}
+		if err := h.Persist(p, 0, 8); err != nil {
+			return ops, err
+		}
+		if err := h.Free(p); err != nil {
+			return ops, err
+		}
+		ops++
+	}
+	return ops, nil
+}
+
+// countQueens is the classic bitmask N-Queens solver.
+func countQueens(n int, row, cols, diag1, diag2 uint64) uint64 {
+	if row == uint64(n) {
+		return 1
+	}
+	var count uint64
+	full := uint64(1)<<n - 1
+	avail := full &^ (cols | diag1 | diag2)
+	for avail != 0 {
+		bit := avail & (-avail)
+		avail &^= bit
+		count += countQueens(n, row+1, cols|bit, (diag1|bit)<<1&full, (diag2|bit)>>1)
+	}
+	return count
+}

@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"testing"
+
+	"poseidon/internal/alloc"
+	"poseidon/internal/benchutil"
+)
+
+func newHandle(t *testing.T, name string) (alloc.Allocator, alloc.Handle) {
+	t.Helper()
+	a, err := benchutil.NewAllocator(name, benchutil.Config{Threads: 1, HeapBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := a.Thread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, h
+}
+
+func TestAckermann(t *testing.T) {
+	for _, name := range benchutil.AllocatorNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, h := newHandle(t, name)
+			defer a.Close()
+			defer h.Close()
+			ops, err := Ackermann(h, 1<<20, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ops != 4 { // 2 iterations × (alloc + free)
+				t.Fatalf("ops = %d", ops)
+			}
+		})
+	}
+}
+
+func TestAckermannRegionTooSmall(t *testing.T) {
+	a, h := newHandle(t, "poseidon")
+	defer a.Close()
+	defer h.Close()
+	if _, err := Ackermann(h, 128, 1); err == nil {
+		t.Fatal("tiny region accepted")
+	}
+}
+
+func TestKruskal(t *testing.T) {
+	for _, name := range benchutil.AllocatorNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, h := newHandle(t, name)
+			defer a.Close()
+			defer h.Close()
+			ops, err := Kruskal(h, 10, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ops != 60 { // 10 iterations × (3 allocs + 3 frees)
+				t.Fatalf("ops = %d", ops)
+			}
+		})
+	}
+}
+
+func TestNQueens(t *testing.T) {
+	for _, name := range benchutil.AllocatorNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, h := newHandle(t, name)
+			defer a.Close()
+			defer h.Close()
+			ops, err := NQueens(h, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ops != 10 {
+				t.Fatalf("ops = %d", ops)
+			}
+		})
+	}
+}
+
+func TestCountQueensKnownValues(t *testing.T) {
+	tests := []struct {
+		n    int
+		want uint64
+	}{
+		{1, 1}, {4, 2}, {5, 10}, {6, 4}, {7, 40}, {8, 92},
+	}
+	for _, tt := range tests {
+		if got := countQueens(tt.n, 0, 0, 0, 0); got != tt.want {
+			t.Errorf("countQueens(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}

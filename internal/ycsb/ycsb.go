@@ -1,0 +1,170 @@
+// Package ycsb reimplements the YCSB workloads the paper's Figure 9 uses:
+// Load (100 % inserts) and Workload A (50 % reads / 50 % updates over a
+// Zipfian key popularity distribution), executed against the FAST-FAIR
+// persistent B+-tree with values allocated from the allocator under test.
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+
+	"poseidon/internal/alloc"
+	"poseidon/internal/fastfair"
+)
+
+// ValueSize is the payload stored under each key (YCSB's default field
+// payload scaled to one field).
+const ValueSize = 100
+
+// Zipf generates keys in [0, n) with the standard YCSB scrambled-Zipfian
+// popularity skew (theta 0.99).
+type Zipf struct {
+	rng   *rand.Rand
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipf builds a generator over n items.
+func NewZipf(seed int64, n uint64, theta float64) *Zipf {
+	z := &Zipf{rng: rand.New(rand.NewSource(seed)), n: n, theta: theta}
+	z.zeta2 = zeta(2, theta)
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	// O(n) zeta; cached per generator. Key counts here are ≤ a few
+	// million, so this is fine at setup time.
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next item index (popular items cluster near 0, then
+// are scrambled by the caller's key mapping).
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// KeyOf maps an item index to its scrambled key (FNV-style mixing, as
+// YCSB's scrambled Zipfian does).
+func KeyOf(i uint64) uint64 {
+	k := i*0x9E3779B97F4A7C15 + 0x123456789
+	k ^= k >> 33
+	k *= 0xFF51AFD7ED558CCD
+	k ^= k >> 33
+	if k == 0 {
+		k = 1
+	}
+	return k
+}
+
+// Load inserts items [from, to) into the tree: each insert allocates and
+// fills a ValueSize block, then indexes it — the paper's Load phase.
+// Returns the number of operations performed.
+func Load(tree *fastfair.Tree, h alloc.Handle, from, to uint64) (uint64, error) {
+	payload := make([]byte, ValueSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	ops := uint64(0)
+	for i := from; i < to; i++ {
+		v, err := h.Alloc(ValueSize)
+		if err != nil {
+			return ops, err
+		}
+		if err := h.Write(v, 0, payload); err != nil {
+			return ops, err
+		}
+		if err := h.Persist(v, 0, ValueSize); err != nil {
+			return ops, err
+		}
+		if err := tree.Insert(h, KeyOf(i), uint64(v)); err != nil {
+			return ops, err
+		}
+		ops++
+	}
+	return ops, nil
+}
+
+// WorkloadA performs ops operations: 50 % reads and 50 % updates over a
+// Zipfian distribution across n loaded items. An update allocates a new
+// value block, swaps it into the index, and frees the old block — the
+// allocation-heavy YCSB workload the paper selects (§7.5).
+func WorkloadA(tree *fastfair.Tree, h alloc.Handle, z *Zipf, rng *rand.Rand, ops uint64) (uint64, error) {
+	return workload(tree, h, z, rng, ops, 50)
+}
+
+// WorkloadB is YCSB's read-heavy mix (95 % reads / 5 % updates). The paper
+// skips it as "mostly read-intensive" (§7.5) — it is provided so users can
+// see exactly that effect: allocator differences compress even further.
+func WorkloadB(tree *fastfair.Tree, h alloc.Handle, z *Zipf, rng *rand.Rand, ops uint64) (uint64, error) {
+	return workload(tree, h, z, rng, ops, 5)
+}
+
+// workload runs the read/update mix with the given update percentage.
+func workload(tree *fastfair.Tree, h alloc.Handle, z *Zipf, rng *rand.Rand, ops uint64, updatePct int) (uint64, error) {
+	payload := make([]byte, ValueSize)
+	buf := make([]byte, ValueSize)
+	done := uint64(0)
+	for ; done < ops; done++ {
+		key := KeyOf(z.Next())
+		if rng.Intn(100) >= updatePct {
+			// Read.
+			v, ok, err := tree.Search(h, key)
+			if err != nil {
+				return done, err
+			}
+			if ok {
+				if err := h.Read(alloc.Ptr(v), 0, buf); err != nil {
+					return done, err
+				}
+			}
+			continue
+		}
+		// Update: new value block in, old one freed.
+		nv, err := h.Alloc(ValueSize)
+		if err != nil {
+			return done, err
+		}
+		if err := h.Write(nv, 0, payload); err != nil {
+			return done, err
+		}
+		if err := h.Persist(nv, 0, ValueSize); err != nil {
+			return done, err
+		}
+		old, ok, err := tree.Update(h, key, uint64(nv))
+		if err != nil {
+			return done, err
+		}
+		if !ok {
+			// Key absent (Zipf tail rounding): drop the new block.
+			if err := h.Free(nv); err != nil {
+				return done, err
+			}
+			continue
+		}
+		if old != 0 {
+			if err := h.Free(alloc.Ptr(old)); err != nil {
+				return done, err
+			}
+		}
+	}
+	return done, nil
+}

@@ -1,0 +1,139 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+
+	"poseidon/internal/alloc"
+	"poseidon/internal/core"
+	"poseidon/internal/fastfair"
+)
+
+func newFixture(t *testing.T) (alloc.Allocator, *fastfair.Tree, alloc.Handle) {
+	t.Helper()
+	a, err := alloc.NewPoseidon(core.Options{
+		Subheaps:        2,
+		SubheapUserSize: 16 << 20,
+		SubheapMetaSize: 4 << 20,
+		UndoLogSize:     64 << 10,
+		MaxThreads:      16,
+		HeapID:          17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := a.Thread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := fastfair.New(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, tree, h
+}
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	const n = 1000
+	z := NewZipf(1, n, 0.99)
+	counts := make([]int, n+1)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v > n {
+			t.Fatalf("draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Zipfian: item 0 must be far more popular than the median item.
+	if counts[0] < draws/100 {
+		t.Fatalf("head item drawn %d times of %d — not skewed", counts[0], draws)
+	}
+	if counts[0] <= counts[n/2]*10 {
+		t.Fatalf("head %d vs median %d — insufficient skew", counts[0], counts[n/2])
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(7, 100, 0.99)
+	b := NewZipf(7, 100, 0.99)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestKeyOfInjectiveSample(t *testing.T) {
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 100000; i++ {
+		k := KeyOf(i)
+		if k == 0 {
+			t.Fatal("zero key")
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("KeyOf collision: %d and %d", prev, i)
+		}
+		seen[k] = i
+	}
+}
+
+func TestLoadThenWorkloadA(t *testing.T) {
+	a, tree, h := newFixture(t)
+	defer a.Close()
+	defer h.Close()
+	const n = 5000
+	ops, err := Load(tree, h, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops != n {
+		t.Fatalf("load ops = %d", ops)
+	}
+	// Every loaded key resolves to a readable value block.
+	for i := uint64(0); i < n; i += 97 {
+		v, ok, err := tree.Search(h, KeyOf(i))
+		if err != nil || !ok {
+			t.Fatalf("key %d: ok=%v err=%v", i, ok, err)
+		}
+		buf := make([]byte, ValueSize)
+		if err := h.Read(alloc.Ptr(v), 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[5] != 5 {
+			t.Fatalf("value payload corrupt: %v", buf[:8])
+		}
+	}
+	z := NewZipf(3, n, 0.99)
+	rng := rand.New(rand.NewSource(3))
+	done, err := WorkloadA(tree, h, z, rng, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 4000 {
+		t.Fatalf("workload A did %d ops", done)
+	}
+}
+
+func TestWorkloadBMostlyReads(t *testing.T) {
+	a, tree, h := newFixture(t)
+	defer a.Close()
+	defer h.Close()
+	const n = 2000
+	if _, err := Load(tree, h, 0, n); err != nil {
+		t.Fatal(err)
+	}
+	pa := a.(*alloc.Poseidon)
+	before := pa.Heap().Stats()
+	z := NewZipf(5, n, 0.99)
+	rng := rand.New(rand.NewSource(5))
+	if _, err := WorkloadB(tree, h, z, rng, 2000); err != nil {
+		t.Fatal(err)
+	}
+	after := pa.Heap().Stats()
+	updates := after.Allocs - before.Allocs
+	// 5% of 2000 = ~100 updates; allow wide tolerance.
+	if updates < 40 || updates > 220 {
+		t.Fatalf("workload B performed %d updates of 2000 ops (want ~100)", updates)
+	}
+}

@@ -1,0 +1,105 @@
+package poseidon
+
+import (
+	"errors"
+	"testing"
+)
+
+func smallOptions() Options {
+	return Options{
+		Subheaps:        2,
+		SubheapUserSize: 1 << 20,
+		SubheapMetaSize: 256 << 10,
+		UndoLogSize:     64 << 10,
+		MaxThreads:      8,
+	}
+}
+
+func TestOpenCreatesThenReloads(t *testing.T) {
+	path := t.TempDir() + "/heap.img"
+	h, err := Open(path, smallOptions())
+	if err != nil {
+		t.Fatalf("Open (create): %v", err)
+	}
+	th, err := h.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := th.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Persist(p, 0, []byte("hello nvmm")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetRoot(p); err != nil {
+		t.Fatal(err)
+	}
+	th.Close()
+	if err := h.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2, err := Open(path, smallOptions())
+	if err != nil {
+		t.Fatalf("Open (reload): %v", err)
+	}
+	root, err := h2.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.IsNull() {
+		t.Fatal("root lost across save/open")
+	}
+	th2, err := h2.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th2.Close()
+	got := make([]byte, 10)
+	if err := th2.Read(root, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello nvmm" {
+		t.Fatalf("data = %q", got)
+	}
+}
+
+func TestSaveWithoutPath(t *testing.T) {
+	h, err := Create(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Save(); err == nil {
+		t.Fatal("Save without a path should fail")
+	}
+	path := t.TempDir() + "/explicit.img"
+	if err := h.SaveAs(path); err != nil {
+		t.Fatalf("SaveAs: %v", err)
+	}
+}
+
+func TestErrorsSurfaceThroughFacade(t *testing.T) {
+	h, err := Create(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := h.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Close()
+	p, err := th.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Free(p); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("double free through facade: %v", err)
+	}
+}

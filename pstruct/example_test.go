@@ -1,0 +1,61 @@
+package pstruct_test
+
+import (
+	"fmt"
+	"log"
+
+	"poseidon"
+	"poseidon/pstruct"
+)
+
+// Example builds a persistent list and map in one heap: the list anchored
+// at the heap root, the map holding keyed values — the two structures an
+// application typically starts from.
+func Example() {
+	h, err := poseidon.Create(poseidon.Options{
+		Subheaps:        1,
+		SubheapUserSize: 8 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t, err := h.Thread()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer t.Close()
+
+	list, err := pstruct.NewList(t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := h.SetRoot(list.Anchor()); err != nil {
+		log.Fatal(err)
+	}
+	for _, item := range []string{"first", "second"} {
+		if err := list.PushFront(t, []byte(item)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	n, err := list.Len(t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("list holds", n, "items")
+
+	m, err := pstruct.NewMap(t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Put(t, 7, []byte("lucky")); err != nil {
+		log.Fatal(err)
+	}
+	v, err := m.Get(t, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("map[7] =", string(v))
+	// Output:
+	// list holds 2 items
+	// map[7] = lucky
+}

@@ -1,0 +1,264 @@
+// Package pstruct provides persistent data structures built on the public
+// Poseidon API — the layer an application would write on top of a
+// persistent allocator. It demonstrates (and tests) the crash-safe
+// publication idioms the allocator enables:
+//
+//   - List: a persistent singly-linked list whose pushes are
+//     failure-atomic via a pending-slot protocol (no node is ever leaked
+//     or dangling, whatever the crash point).
+//   - Queue: a persistent FIFO of fixed-size elements in chained segments,
+//     publishing each enqueue with one atomic index store.
+//   - Map: a persistent ordered map (the FAST-FAIR B+-tree) storing
+//     arbitrary byte values.
+//
+// All structures are anchored at an NVMPtr the application stores —
+// typically via Heap.SetRoot — and reopened after a restart.
+package pstruct
+
+import (
+	"errors"
+	"fmt"
+
+	"poseidon"
+)
+
+// List anchor block layout (64 B):
+//
+//	+0  head    loc+1 (0 = empty)
+//	+8  pending loc+1 of a node being published (0 = none)
+//	+16 length
+//
+// Node layout: +0 next (loc+1), +8 payload length, +16… payload.
+const (
+	anchorSize    = 64
+	nodeHeader    = 16
+	offHead       = 0
+	offPending    = 8
+	offLen        = 16
+	maxPayloadLen = 1 << 20
+)
+
+// ErrPayloadTooLarge reports an oversized list payload.
+var ErrPayloadTooLarge = errors.New("pstruct: payload too large")
+
+// List is a persistent singly-linked list (LIFO). All methods take the
+// calling goroutine's Thread. A List is not internally synchronised;
+// callers coordinate concurrent access like for any shared structure.
+type List struct {
+	heapID uint64
+	anchor poseidon.NVMPtr
+}
+
+// NewList allocates a list anchor. Store Anchor() somewhere reachable
+// (e.g. the heap root) to find the list after a restart.
+func NewList(t *poseidon.Thread) (*List, error) {
+	anchor, err := t.Alloc(anchorSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, off := range []uint64{offHead, offPending, offLen} {
+		if err := t.WriteU64(anchor, off, 0); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Flush(anchor, 0, anchorSize); err != nil {
+		return nil, err
+	}
+	return &List{heapID: t.Heap().HeapID(), anchor: anchor}, nil
+}
+
+// OpenList reattaches to an anchored list after a restart and completes or
+// rolls back any push that was interrupted by a crash.
+func OpenList(t *poseidon.Thread, anchor poseidon.NVMPtr) (*List, error) {
+	l := &List{heapID: t.Heap().HeapID(), anchor: anchor}
+	return l, l.recover(t)
+}
+
+// Anchor returns the persistent location of the list.
+func (l *List) Anchor() poseidon.NVMPtr { return l.anchor }
+
+func (l *List) ptr(loc1 uint64) poseidon.NVMPtr {
+	return poseidon.PtrFromLoc(l.heapID, loc1-1)
+}
+
+// recover resolves the pending slot: if the crash happened after the head
+// was published, the push completed — just clear pending; otherwise the
+// node is unreachable and is freed (no leak, no dangling pointer).
+func (l *List) recover(t *poseidon.Thread) error {
+	pending, err := t.ReadU64(l.anchor, offPending)
+	if err != nil {
+		return err
+	}
+	if pending == 0 {
+		return nil
+	}
+	head, err := t.ReadU64(l.anchor, offHead)
+	if err != nil {
+		return err
+	}
+	if head == pending {
+		// Published: the push completed; only the cleanup was lost. The
+		// length may not have been bumped yet — recount cheaply by
+		// trusting the stored length only up to this ambiguity.
+		n := uint64(0)
+		if err := l.Walk(t, func([]byte) bool { n++; return true }); err != nil {
+			return err
+		}
+		if err := t.WriteU64(l.anchor, offLen, n); err != nil {
+			return err
+		}
+	} else {
+		// Unpublished: free the orphan node.
+		if err := t.Free(l.ptr(pending)); err != nil &&
+			!errors.Is(err, poseidon.ErrDoubleFree) && !errors.Is(err, poseidon.ErrInvalidFree) {
+			return err
+		}
+	}
+	if err := t.WriteU64(l.anchor, offPending, 0); err != nil {
+		return err
+	}
+	return t.Flush(l.anchor, offPending, 8)
+}
+
+// PushFront prepends data, failure-atomically:
+//
+//  1. allocate and fill the node (crash ⇒ allocator-level cleanup only);
+//  2. persist the node in the pending slot (crash ⇒ recover frees it);
+//  3. persist head = node — the atomic publish point;
+//  4. clear pending, bump length.
+func (l *List) PushFront(t *poseidon.Thread, data []byte) error {
+	if uint64(len(data)) > maxPayloadLen {
+		return fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, len(data))
+	}
+	head, err := t.ReadU64(l.anchor, offHead)
+	if err != nil {
+		return err
+	}
+	node, err := t.Alloc(nodeHeader + uint64(len(data)))
+	if err != nil {
+		return err
+	}
+	if err := t.WriteU64(node, 0, head); err != nil {
+		return err
+	}
+	if err := t.WriteU64(node, 8, uint64(len(data))); err != nil {
+		return err
+	}
+	if err := t.Write(node, nodeHeader, data); err != nil {
+		return err
+	}
+	if err := t.Flush(node, 0, nodeHeader+uint64(len(data))); err != nil {
+		return err
+	}
+	loc1 := node.Loc() + 1
+	// Stage 2: pending slot (the recovery hook).
+	if err := t.WriteU64(l.anchor, offPending, loc1); err != nil {
+		return err
+	}
+	if err := t.Flush(l.anchor, offPending, 8); err != nil {
+		return err
+	}
+	// Stage 3: publish.
+	if err := t.WriteU64(l.anchor, offHead, loc1); err != nil {
+		return err
+	}
+	if err := t.Flush(l.anchor, offHead, 8); err != nil {
+		return err
+	}
+	// Stage 4: cleanup.
+	n, err := t.ReadU64(l.anchor, offLen)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteU64(l.anchor, offLen, n+1); err != nil {
+		return err
+	}
+	if err := t.WriteU64(l.anchor, offPending, 0); err != nil {
+		return err
+	}
+	return t.Flush(l.anchor, offLen, 16)
+}
+
+// PopFront removes and returns the first payload. The unlink persists
+// before the node frees, so a crash can leak at most one node (recovered
+// heaps report it via fsck; a pending-slot protocol symmetric to PushFront
+// could remove even that, at the cost of a second barrier).
+func (l *List) PopFront(t *poseidon.Thread) ([]byte, bool, error) {
+	head, err := t.ReadU64(l.anchor, offHead)
+	if err != nil || head == 0 {
+		return nil, false, err
+	}
+	node := l.ptr(head)
+	next, err := t.ReadU64(node, 0)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err := l.payload(t, node)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := t.WriteU64(l.anchor, offHead, next); err != nil {
+		return nil, false, err
+	}
+	n, err := t.ReadU64(l.anchor, offLen)
+	if err != nil {
+		return nil, false, err
+	}
+	if n > 0 {
+		if err := t.WriteU64(l.anchor, offLen, n-1); err != nil {
+			return nil, false, err
+		}
+	}
+	if err := t.Flush(l.anchor, offHead, 24); err != nil {
+		return nil, false, err
+	}
+	if err := t.Free(node); err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// Len returns the stored element count.
+func (l *List) Len(t *poseidon.Thread) (uint64, error) {
+	return t.ReadU64(l.anchor, offLen)
+}
+
+func (l *List) payload(t *poseidon.Thread, node poseidon.NVMPtr) ([]byte, error) {
+	n, err := t.ReadU64(node, 8)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxPayloadLen {
+		return nil, fmt.Errorf("pstruct: corrupt node payload length %d", n)
+	}
+	data := make([]byte, n)
+	if err := t.Read(node, nodeHeader, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Walk visits payloads front to back until fn returns false.
+func (l *List) Walk(t *poseidon.Thread, fn func(data []byte) bool) error {
+	loc1, err := t.ReadU64(l.anchor, offHead)
+	if err != nil {
+		return err
+	}
+	for steps := 0; loc1 != 0; steps++ {
+		if steps > 1<<24 {
+			return errors.New("pstruct: cyclic list")
+		}
+		node := l.ptr(loc1)
+		data, err := l.payload(t, node)
+		if err != nil {
+			return err
+		}
+		if !fn(data) {
+			return nil
+		}
+		if loc1, err = t.ReadU64(node, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

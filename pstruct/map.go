@@ -1,0 +1,186 @@
+package pstruct
+
+import (
+	"errors"
+
+	"poseidon"
+	"poseidon/internal/alloc"
+	"poseidon/internal/fastfair"
+)
+
+// Map is a persistent ordered map from uint64 keys to byte values, backed
+// by the FAST-FAIR B+-tree with values in their own persistent blocks.
+//
+// Concurrency: safe for concurrent use with one Thread per goroutine
+// (index operations are latched internally; value blocks are published by
+// an atomic 8-byte swap).
+//
+// Crash-wise, the index itself is rebuilt-none/logged-none in this version
+// (the tree nodes persist, but an insert interrupted mid-split may need a
+// fresh Load of the heap and, in the worst case, leaks a node — use
+// poseidon-fsck to quantify). Value replacement is failure-atomic.
+type Map struct {
+	heapID uint64
+	tree   *fastfair.Tree
+}
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("pstruct: key not found")
+
+// mapHandle adapts a facade Thread to the internal allocator Handle the
+// tree operates on.
+type mapHandle struct {
+	t      *poseidon.Thread
+	heapID uint64
+}
+
+var _ alloc.Handle = mapHandle{}
+
+func (h mapHandle) decode(p alloc.Ptr) poseidon.NVMPtr {
+	return poseidon.PtrFromLoc(h.heapID, uint64(p)-1)
+}
+
+func (h mapHandle) Alloc(size uint64) (alloc.Ptr, error) {
+	p, err := h.t.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	return alloc.Ptr(p.Loc() + 1), nil
+}
+
+func (h mapHandle) Free(p alloc.Ptr) error { return h.t.Free(h.decode(p)) }
+
+func (h mapHandle) Write(p alloc.Ptr, off uint64, b []byte) error {
+	return h.t.Write(h.decode(p), off, b)
+}
+
+func (h mapHandle) Read(p alloc.Ptr, off uint64, b []byte) error {
+	return h.t.Read(h.decode(p), off, b)
+}
+
+func (h mapHandle) WriteU64(p alloc.Ptr, off uint64, v uint64) error {
+	return h.t.WriteU64(h.decode(p), off, v)
+}
+
+func (h mapHandle) ReadU64(p alloc.Ptr, off uint64) (uint64, error) {
+	return h.t.ReadU64(h.decode(p), off)
+}
+
+func (h mapHandle) Persist(p alloc.Ptr, off, n uint64) error {
+	return h.t.Flush(h.decode(p), off, n)
+}
+
+func (h mapHandle) Close() {}
+
+func (m *Map) handle(t *poseidon.Thread) mapHandle {
+	return mapHandle{t: t, heapID: m.heapID}
+}
+
+// NewMap creates an empty persistent map.
+func NewMap(t *poseidon.Thread) (*Map, error) {
+	m := &Map{heapID: t.Heap().HeapID()}
+	tree, err := fastfair.New(m.handle(t))
+	if err != nil {
+		return nil, err
+	}
+	m.tree = tree
+	return m, nil
+}
+
+// Value block layout: +0 length, +8… bytes.
+const valueHeader = 8
+
+// Put stores value under key, replacing any previous value
+// failure-atomically (the new block persists fully before the 8-byte
+// index swap; the old block frees after).
+func (m *Map) Put(t *poseidon.Thread, key uint64, value []byte) error {
+	h := m.handle(t)
+	blk, err := t.Alloc(valueHeader + uint64(len(value)))
+	if err != nil {
+		return err
+	}
+	if err := t.WriteU64(blk, 0, uint64(len(value))); err != nil {
+		return err
+	}
+	if err := t.Write(blk, valueHeader, value); err != nil {
+		return err
+	}
+	if err := t.Flush(blk, 0, valueHeader+uint64(len(value))); err != nil {
+		return err
+	}
+	loc1 := blk.Loc() + 1
+	old, had, err := m.tree.Update(h, key, loc1)
+	if err != nil {
+		return err
+	}
+	if had {
+		if old != 0 {
+			return t.Free(poseidon.PtrFromLoc(m.heapID, old-1))
+		}
+		return nil
+	}
+	return m.tree.Insert(h, key, loc1)
+}
+
+// Get returns the value under key.
+func (m *Map) Get(t *poseidon.Thread, key uint64) ([]byte, error) {
+	h := m.handle(t)
+	loc1, ok, err := m.tree.Search(h, key)
+	if err != nil {
+		return nil, err
+	}
+	if !ok || loc1 == 0 {
+		return nil, ErrNotFound
+	}
+	blk := poseidon.PtrFromLoc(m.heapID, loc1-1)
+	n, err := t.ReadU64(blk, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	if err := t.Read(blk, valueHeader, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Delete removes key by tombstoning its value (the tree has no physical
+// delete; a zero location marks absence) and freeing the value block.
+func (m *Map) Delete(t *poseidon.Thread, key uint64) error {
+	h := m.handle(t)
+	old, had, err := m.tree.Update(h, key, 0)
+	if err != nil {
+		return err
+	}
+	if !had || old == 0 {
+		return ErrNotFound
+	}
+	return t.Free(poseidon.PtrFromLoc(m.heapID, old-1))
+}
+
+// Range visits keys in [from, to) in ascending order.
+func (m *Map) Range(t *poseidon.Thread, from, to uint64, fn func(key uint64, value []byte) bool) error {
+	h := m.handle(t)
+	var visitErr error
+	err := m.tree.Scan(h, from, to, func(key, loc1 uint64) bool {
+		if loc1 == 0 {
+			return true // deleted
+		}
+		blk := poseidon.PtrFromLoc(m.heapID, loc1-1)
+		n, err := t.ReadU64(blk, 0)
+		if err != nil {
+			visitErr = err
+			return false
+		}
+		val := make([]byte, n)
+		if err := t.Read(blk, valueHeader, val); err != nil {
+			visitErr = err
+			return false
+		}
+		return fn(key, val)
+	})
+	if err != nil {
+		return err
+	}
+	return visitErr
+}

@@ -1,0 +1,377 @@
+package pstruct
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"poseidon"
+	"poseidon/internal/core"
+	"poseidon/internal/nvm"
+)
+
+func newHeapThread(t *testing.T) (*poseidon.Heap, *poseidon.Thread) {
+	t.Helper()
+	h, err := poseidon.Create(poseidon.Options{
+		Subheaps:        2,
+		SubheapUserSize: 8 << 20,
+		SubheapMetaSize: 2 << 20,
+		UndoLogSize:     64 << 10,
+		MaxThreads:      8,
+		CrashTracking:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := h.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, th
+}
+
+func TestListPushWalkPop(t *testing.T) {
+	_, th := newHeapThread(t)
+	defer th.Close()
+	l, err := NewList(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.PushFront(th, []byte(fmt.Sprintf("item-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := l.Len(th); n != 10 {
+		t.Fatalf("len = %d", n)
+	}
+	var got []string
+	if err := l.Walk(th, func(data []byte) bool {
+		got = append(got, string(data))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != "item-9" || got[9] != "item-0" {
+		t.Fatalf("walk = %v", got)
+	}
+	data, ok, err := l.PopFront(th)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if string(data) != "item-9" {
+		t.Fatalf("pop = %q", data)
+	}
+	if n, _ := l.Len(th); n != 9 {
+		t.Fatalf("len after pop = %d", n)
+	}
+	// Drain.
+	for {
+		_, ok, err := l.PopFront(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if n, _ := l.Len(th); n != 0 {
+		t.Fatalf("len after drain = %d", n)
+	}
+}
+
+func TestListEmptyPop(t *testing.T) {
+	_, th := newHeapThread(t)
+	defer th.Close()
+	l, err := NewList(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := l.PopFront(th); ok || err != nil {
+		t.Fatalf("pop of empty: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestListSurvivesRestart(t *testing.T) {
+	h, th := newHeapThread(t)
+	l, err := NewList(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.PushFront(th, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.SetRoot(l.Anchor()); err != nil {
+		t.Fatal(err)
+	}
+	th.Close()
+
+	// Crash and reload.
+	if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := core.Load(h.Device(), core.Options{CrashTracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := facade(t, ch)
+	th2, err := h2.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th2.Close()
+	root, err := h2.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenList(th2, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := l2.Len(th2); n != 5 {
+		t.Fatalf("len after restart = %d", n)
+	}
+	var first []byte
+	if err := l2.Walk(th2, func(d []byte) bool { first = d; return false }); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, []byte{4}) {
+		t.Fatalf("head = %v", first)
+	}
+}
+
+// facade wraps a core.Heap back into the public type for the restart test.
+func facade(t *testing.T, ch *core.Heap) *poseidon.Heap {
+	t.Helper()
+	return &poseidon.Heap{Heap: ch}
+}
+
+// Crash between the pending-slot write and the publish: recovery must free
+// the orphan node and leave the list exactly as before the push.
+func TestListRecoverUnpublishedPush(t *testing.T) {
+	h, th := newHeapThread(t)
+	l, err := NewList(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.PushFront(th, []byte("stable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetRoot(l.Anchor()); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn push by hand: allocate a node, store it in the
+	// pending slot, "crash" before the head update.
+	orphan, err := th.Alloc(nodeHeader + 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.WriteU64(l.Anchor(), offPending, orphan.Loc()+1); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Flush(l.Anchor(), offPending, 8); err != nil {
+		t.Fatal(err)
+	}
+	th.Close()
+	if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := core.Load(h.Device(), core.Options{CrashTracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := facade(t, ch)
+	th2, err := h2.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th2.Close()
+	root, err := h2.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenList(th2, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := l2.Len(th2); n != 1 {
+		t.Fatalf("len = %d, want 1 (orphan rolled back)", n)
+	}
+	// The orphan node was freed by recovery: freeing again double-frees.
+	if err := th2.Free(orphan); !errors.Is(err, poseidon.ErrDoubleFree) {
+		t.Fatalf("orphan not freed by list recovery: %v", err)
+	}
+	// And the pending slot is clear: another push works.
+	if err := l2.PushFront(th2, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Crash after the publish but before the cleanup: recovery must keep the
+// node and fix the length.
+func TestListRecoverPublishedPush(t *testing.T) {
+	h, th := newHeapThread(t)
+	l, err := NewList(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.PushFront(th, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetRoot(l.Anchor()); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate: full push, then re-set pending as if cleanup was lost.
+	if err := l.PushFront(th, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	head, err := th.ReadU64(l.Anchor(), offHead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.WriteU64(l.Anchor(), offPending, head); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Flush(l.Anchor(), offPending, 8); err != nil {
+		t.Fatal(err)
+	}
+	th.Close()
+	if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := core.Load(h.Device(), core.Options{CrashTracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := facade(t, ch)
+	th2, err := h2.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th2.Close()
+	root, err := h2.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenList(th2, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := l2.Len(th2); n != 2 {
+		t.Fatalf("len = %d, want 2 (published push kept)", n)
+	}
+	var heads []string
+	if err := l2.Walk(th2, func(d []byte) bool { heads = append(heads, string(d)); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(heads) != 2 || heads[0] != "two" || heads[1] != "one" {
+		t.Fatalf("walk = %v", heads)
+	}
+}
+
+func TestListRejectsHugePayload(t *testing.T) {
+	_, th := newHeapThread(t)
+	defer th.Close()
+	l, err := NewList(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.PushFront(th, make([]byte, maxPayloadLen+1)); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMapPutGetDeleteRange(t *testing.T) {
+	_, th := newHeapThread(t)
+	defer th.Close()
+	m, err := NewMap(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 200; i++ {
+		if err := m.Put(th, i, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := m.Get(th, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "v42" {
+		t.Fatalf("get = %q", v)
+	}
+	// Overwrite.
+	if err := m.Put(th, 42, []byte("replaced")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Get(th, 42); string(v) != "replaced" {
+		t.Fatalf("get after put = %q", v)
+	}
+	// Delete.
+	if err := m.Delete(th, 42); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get(th, 42); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after delete: %v", err)
+	}
+	if err := m.Delete(th, 42); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, err := m.Get(th, 9999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	// Range skips the deleted key.
+	var keys []uint64
+	err = m.Range(th, 40, 46, func(k uint64, v []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{40, 41, 43, 44, 45}
+	if len(keys) != len(want) {
+		t.Fatalf("range = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("range = %v", keys)
+		}
+	}
+}
+
+func TestMapHandleAdapters(t *testing.T) {
+	// The Handle adapter is mostly exercised through the tree; cover the
+	// remaining delegations directly.
+	_, th := newHeapThread(t)
+	defer th.Close()
+	m, err := NewMap(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.handle(th)
+	p, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Write(p, 0, []byte("adapter")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 7)
+	if err := h.Read(p, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "adapter" {
+		t.Fatalf("read %q", buf)
+	}
+	if err := h.Persist(p, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+}

@@ -1,0 +1,57 @@
+package poseidon
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry resolves persistent pointers to the heap they belong to. A
+// process that opens several heaps (the paper's multi-pool model, §2.2)
+// registers each one; NVMPtr.HeapID then names the pool exactly as the
+// pool-id half of a 16-byte persistent pointer does in other NVMM
+// allocators.
+type Registry struct {
+	mu    sync.RWMutex
+	heaps map[uint64]*Heap
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{heaps: make(map[uint64]*Heap)}
+}
+
+// Add registers a heap. Registering two heaps with the same ID is an
+// error (heap IDs are random 64-bit values at creation, so collisions
+// indicate the same image opened twice).
+func (r *Registry) Add(h *Heap) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := h.HeapID()
+	if _, dup := r.heaps[id]; dup {
+		return fmt.Errorf("poseidon: heap %#x already registered", id)
+	}
+	r.heaps[id] = h
+	return nil
+}
+
+// Remove unregisters a heap.
+func (r *Registry) Remove(h *Heap) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.heaps, h.HeapID())
+}
+
+// Resolve returns the registered heap a pointer belongs to.
+func (r *Registry) Resolve(p NVMPtr) (*Heap, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.heaps[p.HeapID]
+	return h, ok
+}
+
+// Len returns the number of registered heaps.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.heaps)
+}

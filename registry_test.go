@@ -1,0 +1,62 @@
+package poseidon
+
+import "testing"
+
+func TestRegistryResolve(t *testing.T) {
+	opts := smallOptions()
+	opts.HeapID = 0x100
+	h1, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.HeapID = 0x200
+	h2, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	if err := r.Add(h1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(h2); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if err := r.Add(h1); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+
+	t1, err := h1.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	t2, err := h2.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+	p1, err := t1.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := t2.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := r.Resolve(p1); !ok || got != h1 {
+		t.Fatal("p1 resolved wrongly")
+	}
+	if got, ok := r.Resolve(p2); !ok || got != h2 {
+		t.Fatal("p2 resolved wrongly")
+	}
+	r.Remove(h1)
+	if _, ok := r.Resolve(p1); ok {
+		t.Fatal("removed heap still resolves")
+	}
+	if _, ok := r.Resolve(NVMPtr{}); ok {
+		t.Fatal("null pointer resolved")
+	}
+}
