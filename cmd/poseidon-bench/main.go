@@ -309,9 +309,11 @@ func recovery(config) error {
 			}
 		}
 		pt.Close()
-		if err := ph.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+		crash, err := ph.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone})
+		if err != nil {
 			return err
 		}
+		fmt.Printf("  crash: %d dirty lines dropped (EvictNone)\n", crash.DroppedLines)
 		start := time.Now()
 		if _, err := core.Load(ph.Device(), opts); err != nil {
 			return err

@@ -6,11 +6,13 @@
 //
 //	poseidon-fsck heap.img          # audit after recovery (the normal view)
 //	poseidon-fsck -raw heap.img     # audit the image as-is, skipping recovery
+//	poseidon-fsck -json heap.img    # machine-readable CheckReport
 //
 // Exit status: 0 clean, 1 problems found, 2 usage/load error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,8 +23,10 @@ import (
 
 func main() {
 	raw := flag.Bool("raw", false, "audit without running recovery first")
+	scrub := flag.Bool("scrub", false, "run the full metadata audit during recovery, quarantining failed sub-heaps")
+	asJSON := flag.Bool("json", false, "emit the CheckReport as JSON")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: poseidon-fsck [-raw] <heap-image>")
+		fmt.Fprintln(os.Stderr, "usage: poseidon-fsck [-raw] [-scrub] [-json] <heap-image>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -30,13 +34,34 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	report, err := run(flag.Arg(0), *raw)
+	report, err := run(flag.Arg(0), *raw, *scrub)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "poseidon-fsck:", err)
 		os.Exit(2)
 	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "poseidon-fsck:", err)
+			os.Exit(2)
+		}
+		if !report.OK() {
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("sub-heaps: %d (%d formatted)\n", report.Subheaps, report.Formatted)
 	fmt.Printf("blocks:    %d allocated, %d free\n", report.AllocatedBlocks, report.FreeBlocks)
+	if report.Quarantined > 0 {
+		fmt.Printf("QUARANTINED: %d sub-heaps (%d bytes of capacity out of service)\n",
+			report.Quarantined, report.QuarantinedBytes)
+		for _, sr := range report.SubheapReports {
+			if sr.Quarantined {
+				fmt.Printf("  - sub-heap %d: %s\n", sr.ID, sr.QuarantineReason)
+			}
+		}
+	}
 	if report.PendingUndo > 0 {
 		fmt.Printf("pending:   %d undo-log entries (interrupted operation; recovery will revert it)\n", report.PendingUndo)
 	}
@@ -44,7 +69,11 @@ func main() {
 		fmt.Printf("pending:   %d micro-log entries (open transactions; recovery will roll them back)\n", report.PendingTx)
 	}
 	if report.OK() {
-		fmt.Println("heap is consistent")
+		if report.Healthy() {
+			fmt.Println("heap is consistent")
+		} else {
+			fmt.Println("in-service sub-heaps are consistent (degraded: quarantined capacity above)")
+		}
 		return
 	}
 	fmt.Printf("%d PROBLEMS:\n", len(report.Problems))
@@ -54,7 +83,7 @@ func main() {
 	os.Exit(1)
 }
 
-func run(path string, raw bool) (core.CheckReport, error) {
+func run(path string, raw, scrub bool) (core.CheckReport, error) {
 	dev, err := nvm.LoadFile(path, nvm.Options{})
 	if err != nil {
 		return core.CheckReport{}, err
@@ -63,7 +92,7 @@ func run(path string, raw bool) (core.CheckReport, error) {
 	if raw {
 		h, err = core.Attach(dev, core.Options{})
 	} else {
-		h, err = core.Load(dev, core.Options{})
+		h, err = core.Load(dev, core.Options{ScrubOnLoad: scrub})
 	}
 	if err != nil {
 		return core.CheckReport{}, err

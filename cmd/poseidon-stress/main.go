@@ -104,7 +104,8 @@ func run() error {
 		h.Device().DisarmFailpoint()
 
 		// Power failure with random cacheline survival, then restart.
-		if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: *seed * int64(cycle+7)}); err != nil {
+		crash, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: *seed * int64(cycle+7)})
+		if err != nil {
 			return err
 		}
 		h2, err := core.Load(h.Device(), opts)
@@ -123,8 +124,9 @@ func run() error {
 		}
 		st := h2.Stats()
 		totalRecovered += st.RecoveredBlocks
-		fmt.Printf("cycle %2d: ok — %d allocated blocks, %d free, %d tx rollbacks\n",
-			cycle, report.AllocatedBlocks, report.FreeBlocks, st.RecoveredBlocks)
+		fmt.Printf("cycle %2d: ok — %d allocated blocks, %d free, %d tx rollbacks; crash kept %d/%d dirty lines\n",
+			cycle, report.AllocatedBlocks, report.FreeBlocks, st.RecoveredBlocks,
+			crash.PersistedLines, crash.DirtyLines)
 		h = h2
 	}
 	fmt.Printf("PASS: %d cycles, %d operations, %d transactional rollbacks, 0 inconsistencies\n",

@@ -1,0 +1,110 @@
+// Command poseidon-torture is the exhaustive crash-point sweep: it counts
+// the mutating device operations of a scripted workload, then for EVERY
+// operation index re-runs the workload with the failpoint armed there,
+// crashes under the selected cacheline-eviction policy, reloads, and audits
+// the recovered heap. Any surviving inconsistency is printed with the
+// minimal reproducer (seed, crash point, evict mode) and the tool exits
+// non-zero.
+//
+//	poseidon-torture -ops 256                 # full sweep, all four modes
+//	poseidon-torture -ops 256 -modes torn     # one mode
+//	poseidon-torture -ops 256 -point 1234 -modes random   # replay one point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"poseidon/internal/nvm"
+	"poseidon/internal/torture"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "poseidon-torture:", err)
+		os.Exit(1)
+	}
+}
+
+func parseModes(s string) ([]nvm.EvictMode, error) {
+	if s == "all" {
+		return []nvm.EvictMode{nvm.EvictNone, nvm.EvictAll, nvm.EvictRandom, nvm.EvictTorn}, nil
+	}
+	var modes []nvm.EvictMode
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(name) {
+		case "none":
+			modes = append(modes, nvm.EvictNone)
+		case "all":
+			modes = append(modes, nvm.EvictAll)
+		case "random":
+			modes = append(modes, nvm.EvictRandom)
+		case "torn":
+			modes = append(modes, nvm.EvictTorn)
+		default:
+			return nil, fmt.Errorf("unknown evict mode %q (want none, all, random, torn)", name)
+		}
+	}
+	return modes, nil
+}
+
+func run() error {
+	var (
+		ops     = flag.Int("ops", 256, "mix-workload operations (scales the crash-point count)")
+		seed    = flag.Int64("seed", 1, "workload and eviction seed")
+		modeStr = flag.String("modes", "all", "comma-separated evict modes to sweep, or \"all\"")
+		workers = flag.Int("workers", 4, "parallel crash-point workers")
+		prob    = flag.Float64("prob", 0.5, "EvictRandom survival / EvictTorn full-persist probability")
+		stride  = flag.Int("stride", 1, "sweep every stride-th crash point")
+		point   = flag.Int("point", -1, "sweep only this crash point (reproducer mode)")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	modes, err := parseModes(*modeStr)
+	if err != nil {
+		return err
+	}
+	cfg := torture.Config{
+		Ops:     *ops,
+		Seed:    *seed,
+		Modes:   modes,
+		Workers: *workers,
+		Prob:    *prob,
+		Stride:  *stride,
+	}
+	if *point >= 0 {
+		cfg.Point = *point
+		cfg.SinglePoint = true
+	}
+	if !*quiet {
+		cfg.Log = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	start := time.Now()
+	res, err := torture.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("swept %d crash points, %d crash/recover/audit runs in %v\n",
+		res.CrashPoints, res.Runs, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("dirty-line fates across all crashes: %d persisted, %d dropped, %d torn\n",
+		res.Persisted, res.Dropped, res.Torn)
+	if len(res.Violations) == 0 {
+		fmt.Println("no violations")
+		return nil
+	}
+	fmt.Printf("%d VIOLATIONS:\n", len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Printf("  mode=%s point=%d: %s\n", v.Mode, v.Point, v.Detail)
+		fmt.Printf("    crash dropped %d and tore %d of %d dirty lines\n",
+			v.Report.DroppedLines, v.Report.TornLines, v.Report.DirtyLines)
+		fmt.Printf("    reproduce: %s\n", v.Reproducer(*ops, *prob))
+	}
+	return fmt.Errorf("%d of %d runs violated heap invariants", len(res.Violations), res.Runs)
+}

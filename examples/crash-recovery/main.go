@@ -62,7 +62,7 @@ func run() error {
 
 	// Power failure with adversarial cacheline eviction: any dirty line
 	// may or may not have reached the media.
-	if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: 99}); err != nil {
+	if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: 99}); err != nil {
 		return err
 	}
 	fmt.Println("power failed (random surviving cachelines); restarting…")
@@ -98,7 +98,7 @@ func run() error {
 		}
 		txPtrs = append(txPtrs, p)
 	}
-	if err := h2.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+	if _, err := h2.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
 		return err
 	}
 	h3, err := core.Load(h2.Device(), opts())

@@ -108,7 +108,7 @@ func run() error {
 		return err
 	}
 	fmt.Println("\nbuilt a 3-node list WITHOUT committing, then the power failed…")
-	if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+	if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
 		return err
 	}
 	h2, err := core.Load(h.Device(), opts())

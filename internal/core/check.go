@@ -7,33 +7,72 @@ import (
 	"poseidon/internal/memblock"
 )
 
+// SubheapReport is the audit result of one sub-heap, the classification
+// unit of the degrade-don't-die path: a sub-heap whose metadata fails audit
+// is quarantined individually instead of condemning the whole heap.
+type SubheapReport struct {
+	ID        int
+	Formatted bool
+	// Quarantined marks a sub-heap taken out of service by recovery; its
+	// Problems (if any) describe what the quarantining audit saw, and
+	// QuarantineReason records why recovery benched it.
+	Quarantined      bool
+	QuarantineReason string `json:",omitempty"`
+	AllocatedBlocks  uint64
+	FreeBlocks       uint64
+	PendingUndo      uint64
+	Problems         []string `json:",omitempty"`
+}
+
 // CheckReport is the result of a full heap consistency audit.
 type CheckReport struct {
 	Subheaps        int
 	Formatted       int
+	Quarantined     int    // sub-heaps out of service
+	QuarantinedBytes uint64 // user capacity lost to quarantine
 	AllocatedBlocks uint64
 	FreeBlocks      uint64
 	PendingUndo     uint64 // committed undo entries awaiting replay
 	PendingTx       uint64 // micro-log entries of open transactions
 	Problems        []string
+	SubheapReports  []SubheapReport
 }
 
-// OK reports whether the audit found no structural problems. Pending logs
-// are not problems — they mean recovery has work to do, which Load
-// performs — but they are surfaced in the report.
+// OK reports whether the audit found no structural problems in any
+// in-service sub-heap. Pending logs are not problems — they mean recovery
+// has work to do, which Load performs. Quarantined sub-heaps are not
+// counted here either: quarantine is the *handled* state of a problem, and
+// is surfaced separately (Quarantined, QuarantinedBytes) so callers that
+// require a fully healthy heap can check both.
 func (r CheckReport) OK() bool { return len(r.Problems) == 0 }
+
+// Healthy reports a clean audit AND no quarantined capacity.
+func (r CheckReport) Healthy() bool { return r.OK() && r.Quarantined == 0 }
 
 // Check audits the whole heap: every formatted sub-heap's blocks must tile
 // its user region exactly (no gaps, no overlaps, power-of-two sizes,
 // size-aligned offsets), free lists and the hash table must agree, and log
 // headers must be sane. It is the engine of cmd/poseidon-fsck and the
-// invariant oracle of the crash-injection tests.
+// invariant oracle of the crash-injection tests. Quarantined sub-heaps are
+// reported but not audited — their metadata is already known bad.
 func (h *Heap) Check() (CheckReport, error) {
 	report := CheckReport{Subheaps: len(h.subheaps)}
 	for _, s := range h.subheaps {
-		if err := s.check(&report); err != nil {
+		if s.isQuarantined() {
+			report.Quarantined++
+			report.QuarantinedBytes += h.lay.userSize
+			report.SubheapReports = append(report.SubheapReports, SubheapReport{
+				ID:               s.id,
+				Quarantined:      true,
+				QuarantineReason: s.quarantineReason(),
+			})
+			continue
+		}
+		sub, err := s.check()
+		if err != nil {
 			return report, err
 		}
+		report.merge(sub)
 	}
 	// Micro-log lanes.
 	h.grant(h.sbThread)
@@ -54,7 +93,25 @@ func (h *Heap) Check() (CheckReport, error) {
 	return report, nil
 }
 
-func (s *subheap) check(report *CheckReport) error {
+// merge folds one sub-heap's report into the heap-wide aggregate.
+func (r *CheckReport) merge(sub SubheapReport) {
+	r.SubheapReports = append(r.SubheapReports, sub)
+	if sub.Formatted {
+		r.Formatted++
+	}
+	r.AllocatedBlocks += sub.AllocatedBlocks
+	r.FreeBlocks += sub.FreeBlocks
+	r.PendingUndo += sub.PendingUndo
+	for _, p := range sub.Problems {
+		r.Problems = append(r.Problems, fmt.Sprintf("sub-heap %d: %s", sub.ID, p))
+	}
+}
+
+// check audits one sub-heap and returns its classified report. Errors are
+// I/O-level failures (the audit could not run), not inconsistencies — those
+// land in the report's Problems.
+func (s *subheap) check() (SubheapReport, error) {
+	report := SubheapReport{ID: s.id}
 	s.mu.Lock()
 	s.h.grant(s.thread)
 	defer func() {
@@ -63,20 +120,19 @@ func (s *subheap) check(report *CheckReport) error {
 	}()
 	init, err := s.initializedFlag()
 	if err != nil {
-		return err
+		return report, err
 	}
 	if !init {
-		return nil
+		return report, nil
 	}
-	report.Formatted++
+	report.Formatted = true
 	if err := s.ensureReady(); err != nil {
-		return err
+		return report, err
 	}
-	report.PendingUndo += s.undo.Count()
+	report.PendingUndo = s.undo.Count()
 	g := s.mgr.Geometry()
 	problem := func(format string, args ...any) {
-		report.Problems = append(report.Problems,
-			fmt.Sprintf("sub-heap %d: ", s.id)+fmt.Sprintf(format, args...))
+		report.Problems = append(report.Problems, fmt.Sprintf(format, args...))
 	}
 
 	type blk struct{ off, size, status uint64 }
@@ -102,7 +158,7 @@ func (s *subheap) check(report *CheckReport) error {
 		return nil
 	})
 	if err != nil {
-		return err
+		return report, err
 	}
 
 	// Exact tiling of the user region.
@@ -131,13 +187,13 @@ func (s *subheap) check(report *CheckReport) error {
 	for c := 0; c < g.NumClasses; c++ {
 		head, err := s.mgr.FreeHead(s.win, c)
 		if err != nil {
-			return err
+			return report, err
 		}
 		steps := uint64(0)
 		for slot := head; slot != 0; {
 			rec, err := s.mgr.ReadRecord(s.win, slot)
 			if err != nil {
-				return err
+				return report, err
 			}
 			if rec.Status != memblock.StatusFree {
 				problem("class %d free list holds non-free block %#x", c, rec.BlockOff)
@@ -158,5 +214,5 @@ func (s *subheap) check(report *CheckReport) error {
 			problem("free block %#x appears %d times on free lists", b.off, listed[b.off])
 		}
 	}
-	return nil
+	return report, nil
 }

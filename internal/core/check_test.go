@@ -77,7 +77,7 @@ func TestCheckRawSeesPendingWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	th.Close()
-	if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+	if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
 		t.Fatal(err)
 	}
 	// Raw attach: recovery has not run; the pending transaction shows.
@@ -138,7 +138,7 @@ func TestCrashDuringRecovery(t *testing.T) {
 	h.Device().FailAfter(3)
 	_, _ = th.Alloc(256) // dies inside the allocator
 	h.Device().DisarmFailpoint()
-	if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: 5}); err != nil {
+	if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: 5}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -149,7 +149,7 @@ func TestCrashDuringRecovery(t *testing.T) {
 	if err == nil {
 		t.Log("recovery finished within the failpoint budget; widening")
 	}
-	if cerr := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: 6}); cerr != nil {
+	if _, cerr := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: 6}); cerr != nil {
 		t.Fatal(cerr)
 	}
 

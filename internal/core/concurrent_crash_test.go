@@ -68,7 +68,7 @@ func TestConcurrentCrash(t *testing.T) {
 		}
 		wg.Wait()
 		h.Device().DisarmFailpoint()
-		if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: seed * 31}); err != nil {
+		if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: seed * 31}); err != nil {
 			t.Fatal(err)
 		}
 		h2, err := Load(h.Device(), opts)

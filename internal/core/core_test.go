@@ -47,7 +47,7 @@ func newThread(t *testing.T, h *Heap) *Thread {
 // Load a fresh heap over it (runs recovery).
 func reload(t *testing.T, h *Heap, policy nvm.CrashPolicy) *Heap {
 	t.Helper()
-	if err := h.Device().Crash(policy); err != nil {
+	if _, err := h.Device().Crash(policy); err != nil {
 		t.Fatalf("Crash: %v", err)
 	}
 	_ = h.Close()

@@ -145,7 +145,7 @@ func runCrashTrace(t *testing.T, seed int64) {
 	}
 
 	// Power failure with adversarial eviction, then restart.
-	if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: seed * 977}); err != nil {
+	if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: seed * 977}); err != nil {
 		t.Fatal(err)
 	}
 	h.Device().DisarmFailpoint()
@@ -173,7 +173,7 @@ func runCrashTrace(t *testing.T, seed int64) {
 	auditHeap(t, h2)
 
 	// A second crash+recovery must be a no-op on consistency.
-	if err := h2.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+	if _, err := h2.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
 		t.Fatal(err)
 	}
 	_ = h2.Close()

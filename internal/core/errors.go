@@ -30,4 +30,9 @@ var (
 	// ErrTxTooLarge means one transactional allocation sequence overflowed
 	// its micro-log lane; raise Options.MicroLogLaneSize.
 	ErrTxTooLarge = errors.New("poseidon: transaction exceeds micro log capacity")
+	// ErrSubheapQuarantined reports an operation on a sub-heap recovery
+	// took out of service after its metadata failed audit. Allocations
+	// route to healthy sub-heaps automatically; frees of blocks inside the
+	// quarantined region surface this error.
+	ErrSubheapQuarantined = errors.New("poseidon: sub-heap is quarantined")
 )

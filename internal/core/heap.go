@@ -11,9 +11,11 @@ package core
 import (
 	"crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"poseidon/internal/mpk"
 	"poseidon/internal/nvm"
@@ -50,6 +52,8 @@ type Heap struct {
 	// lazy sub-heap opening must not replay logs either (fsck -raw needs
 	// the untouched post-crash image).
 	rawAttach bool
+
+	transientRetries atomic.Uint64 // I/O retries that survived ErrTransient
 
 	closed bool
 	mu     sync.Mutex // guards closed
@@ -260,14 +264,70 @@ func (h *Heap) format() error {
 	return nil
 }
 
+// Transient-error policy for recovery I/O: a read or write that fails with
+// nvm.ErrTransient is retried with exponential backoff a bounded number of
+// times before the error is surfaced. Real persistent-memory stacks see
+// exactly this class (ECC retries, poison that clears, bus hiccups) and a
+// recovery that dies on the first one turns a survivable blip into an
+// unavailable heap.
+const (
+	transientRetries = 6
+	transientBackoff = 20 * time.Microsecond
+)
+
+// retryTransient runs fn, retrying while it fails with nvm.ErrTransient.
+// Returns the number of retries performed alongside fn's final error.
+func retryTransient(fn func() error) (int, error) {
+	delay := transientBackoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = fn(); !errors.Is(err, nvm.ErrTransient) || attempt == transientRetries {
+			return attempt, err
+		}
+		time.Sleep(delay)
+		delay *= 2
+	}
+}
+
+// retry is retryTransient with the heap's stats counter attached.
+func (h *Heap) retry(fn func() error) error {
+	n, err := retryTransient(fn)
+	if n > 0 && err == nil {
+		h.transientRetries.Add(uint64(n))
+	}
+	return err
+}
+
+// quarantinable classifies a recovery error: corruption-class failures are
+// survivable by quarantining the sub-heap; device-level failures (dying
+// machine, exhausted transient retries, range bugs) stay fatal — a heap
+// that "recovers" on a failing device would be lying about durability.
+func quarantinable(err error) bool {
+	return err != nil &&
+		!errors.Is(err, nvm.ErrDeviceFailed) &&
+		!errors.Is(err, nvm.ErrTransient) &&
+		!errors.Is(err, nvm.ErrOutOfRange)
+}
+
 // readLayout validates the superblock of an existing image and rebuilds the
 // layout from it.
 func readLayout(dev *nvm.Device) (layout, error) {
+	var ioErr error
 	read := func(off uint64) uint64 {
-		v, _ := dev.ReadU64(off)
+		var v uint64
+		_, err := retryTransient(func() error {
+			var e error
+			v, e = dev.ReadU64(off)
+			return e
+		})
+		if err != nil && ioErr == nil {
+			ioErr = err
+		}
 		return v
 	}
-	if read(sbMagicOff) != heapMagic {
+	if v := read(sbMagicOff); ioErr != nil {
+		return layout{}, fmt.Errorf("superblock read: %w", ioErr)
+	} else if v != heapMagic {
 		return layout{}, fmt.Errorf("%w: bad magic", ErrCorruptHeap)
 	}
 	if v := read(sbVersionOff); v != heapVersion {
@@ -279,6 +339,9 @@ func readLayout(dev *nvm.Device) (layout, error) {
 	lay, err := computeLayout(
 		int(read(sbSubheapsOff)), read(sbUserSizeOff), read(sbMetaSizeOff),
 		read(sbUndoSizeOff), int(read(sbLaneCountOff)), read(sbLaneSizeOff))
+	if ioErr != nil {
+		return layout{}, fmt.Errorf("superblock read: %w", ioErr)
+	}
 	if err != nil {
 		return layout{}, fmt.Errorf("%w: %v", ErrCorruptHeap, err)
 	}
@@ -292,36 +355,100 @@ func readLayout(dev *nvm.Device) (layout, error) {
 // recover replays all logs after a restart (paper §5.1, §5.8): first the
 // superblock and sub-heap undo logs restore metadata consistency, then the
 // micro-log lanes roll back uncommitted transactional allocations.
+//
+// Recovery degrades instead of dying: transient device errors are retried
+// with bounded backoff, and a sub-heap whose metadata proves corrupt — log
+// recovery fails, or (with ScrubOnLoad) the audit finds problems — is
+// quarantined, leaving the rest of the heap fully usable. Only superblock
+// corruption or device-level failure aborts the load.
 func (h *Heap) recover() error {
-	v, err := h.dev.ReadU64(sbHeapIDOff)
-	if err != nil {
+	var v uint64
+	if err := h.retry(func() error {
+		var e error
+		v, e = h.dev.ReadU64(sbHeapIDOff)
+		return e
+	}); err != nil {
 		return err
 	}
 	h.heapID = v
 
-	h.grant(h.sbThread)
-	h.sbUndo, err = plog.OpenUndoLog(h.sbWin, sbUndoOff, sbUndoSize)
-	if err == nil {
-		err = h.sbUndo.Replay()
-	}
-	h.revoke(h.sbThread)
+	// The superblock log protects the root pointer; there is no smaller
+	// unit to quarantine, so failure here is fatal.
+	err := h.retry(func() error {
+		h.grant(h.sbThread)
+		defer h.revoke(h.sbThread)
+		undo, err := plog.OpenUndoLog(h.sbWin, sbUndoOff, sbUndoSize)
+		if err != nil {
+			return err
+		}
+		if err := undo.Replay(); err != nil {
+			return err
+		}
+		h.sbUndo = undo
+		return nil
+	})
 	if err != nil {
+		if !quarantinable(err) {
+			return fmt.Errorf("superblock log: %w", err)
+		}
 		return fmt.Errorf("%w: superblock log: %v", ErrCorruptHeap, err)
 	}
 	h.sbBatch = txn.NewBatch(h.sbWin, h.sbUndo)
 
 	for _, s := range h.subheaps {
-		if err := s.recoverLogs(); err != nil {
-			return fmt.Errorf("%w: sub-heap %d: %v", ErrCorruptHeap, s.id, err)
+		err := h.retry(s.recoverLogs)
+		if err == nil {
+			continue
 		}
+		if !quarantinable(err) {
+			return fmt.Errorf("sub-heap %d: %w", s.id, err)
+		}
+		s.quarantine(fmt.Sprintf("log recovery failed: %v", err))
 	}
 
 	// Roll back uncommitted transactions. Undo replay may already have
 	// reverted a logged allocation, in which case the free is rejected by
 	// the hash-table check — exactly the idempotency §5.8 relies on.
 	for i := 0; i < h.lay.laneCount; i++ {
-		if err := h.recoverLane(i); err != nil {
+		if err := h.retry(func() error { return h.recoverLane(i) }); err != nil {
+			if !quarantinable(err) {
+				return fmt.Errorf("micro lane %d: %w", i, err)
+			}
 			return fmt.Errorf("%w: micro lane %d: %v", ErrCorruptHeap, i, err)
+		}
+	}
+
+	if h.opts.ScrubOnLoad {
+		if err := h.scrub(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scrub audits every in-service sub-heap with the fsck engine and
+// quarantines those whose metadata fails — the load-time detector for
+// corruption that log replay cannot see (media bit flips, stray writes).
+func (h *Heap) scrub() error {
+	for _, s := range h.subheaps {
+		if s.isQuarantined() {
+			continue
+		}
+		var sub SubheapReport
+		err := h.retry(func() error {
+			var e error
+			sub, e = s.check()
+			return e
+		})
+		switch {
+		case err == nil && len(sub.Problems) == 0:
+		case err == nil:
+			s.quarantine(fmt.Sprintf("audit failed: %s (%d problems)",
+				sub.Problems[0], len(sub.Problems)))
+		case quarantinable(err):
+			s.quarantine(fmt.Sprintf("audit aborted: %v", err))
+		default:
+			return fmt.Errorf("sub-heap %d scrub: %w", s.id, err)
 		}
 	}
 	return nil
@@ -352,6 +479,12 @@ func (h *Heap) recoverLane(i int) error {
 			continue // stale entry pointing nowhere valid; skip
 		}
 		s := h.subheaps[sub]
+		if s.isQuarantined() {
+			// The block lives in a region already out of service; rolling
+			// it back would touch metadata we no longer trust.
+			s.stats.recoveredNoops.Add(1)
+			continue
+		}
 		if err := s.free(dev); err != nil {
 			// Invalid/double frees here mean the undo log already
 			// reverted this allocation; anything else is fatal.
@@ -482,7 +615,26 @@ func (h *Heap) Stats() HeapStats {
 		out.DoubleFrees += s.stats.doubleFrees.Load()
 		out.RecoveredBlocks += s.stats.recoveredBlocks.Load()
 		out.RecoveredNoops += s.stats.recoveredNoops.Load()
+		if s.isQuarantined() {
+			out.QuarantinedSubheaps++
+			out.QuarantinedBytes += h.lay.userSize
+		}
 	}
 	out.PermissionSwitches = h.unit.Switches()
+	out.TransientRetries = h.transientRetries.Load()
 	return out
+}
+
+// healthyShard returns shard if it is in service, otherwise the nearest
+// (round-robin) non-quarantined sub-heap. Errors only when every sub-heap
+// is quarantined.
+func (h *Heap) healthyShard(shard int) (int, error) {
+	n := len(h.subheaps)
+	for i := 0; i < n; i++ {
+		cand := (shard + i) % n
+		if !h.subheaps[cand].isQuarantined() {
+			return cand, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: all %d sub-heaps", ErrSubheapQuarantined, n)
 }

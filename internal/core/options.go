@@ -61,6 +61,12 @@ type Options struct {
 	// persistent image). Required by SimulateCrash; costs memory and
 	// per-store bookkeeping. Default off.
 	CrashTracking bool
+	// ScrubOnLoad makes Load audit every formatted sub-heap after log
+	// recovery (the fsck engine) and quarantine any whose metadata fails —
+	// the degrade-don't-die path for media corruption (bit flips, stray
+	// writes that beat MPK). Costs a full metadata scan per sub-heap at
+	// load; default off.
+	ScrubOnLoad bool
 	// DeviceStats enables flush/fence counters on the device.
 	DeviceStats bool
 }

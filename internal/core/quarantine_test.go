@@ -1,0 +1,228 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"poseidon/internal/nvm"
+)
+
+// recordSlot finds the hash-table slot of the record indexing p's block —
+// the bit-flip target for media-corruption tests.
+func recordSlot(t *testing.T, h *Heap, p NVMPtr) uint64 {
+	t.Helper()
+	dev, err := h.RawOffset(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := h.subheaps[p.Subheap()]
+	s.mu.Lock()
+	h.grant(s.thread)
+	slot, err := s.mgr.Lookup(s.win, dev)
+	h.revoke(s.thread)
+	s.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return slot
+}
+
+// TestBitFlipQuarantinesSubheap is the degrade-don't-die acceptance test:
+// a seeded bit flip in sub-heap 0's metadata must be detected by the
+// ScrubOnLoad audit, quarantine exactly that sub-heap, and leave Alloc/Free
+// on the healthy sub-heap fully functional.
+func TestBitFlipQuarantinesSubheap(t *testing.T) {
+	opts := testOptions()
+	opts.ScrubOnLoad = true
+	h, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Touch both sub-heaps so both are formatted.
+	th0, err := h.ThreadOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, err := th0.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th1, err := h.ThreadOn(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := th1.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th0.Close()
+	th1.Close()
+
+	// Flip one bit in the size word of sub-heap 0's block record: 128
+	// becomes 129, which is not a power-of-two class size. InjectBitFlip
+	// corrupts both the volatile and persistent images, so the damage
+	// survives the crash below — media corruption, not a dirty store.
+	slot := recordSlot(t, h, p0)
+	if err := h.Device().InjectBitFlip(slot+8, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := func() *Heap {
+		if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+			t.Fatal(err)
+		}
+		_ = h.Close()
+		h2, err := Load(h.Device(), opts)
+		if err != nil {
+			t.Fatalf("Load must degrade, not die: %v", err)
+		}
+		return h2
+	}()
+
+	// The corruption was detected at Load and sub-heap 0 quarantined.
+	if !h2.subheaps[0].isQuarantined() {
+		t.Fatal("sub-heap 0 not quarantined after metadata bit flip")
+	}
+	if h2.subheaps[1].isQuarantined() {
+		t.Fatal("healthy sub-heap 1 was quarantined")
+	}
+	stats := h2.Stats()
+	if stats.QuarantinedSubheaps != 1 {
+		t.Fatalf("QuarantinedSubheaps = %d, want 1", stats.QuarantinedSubheaps)
+	}
+	if stats.QuarantinedBytes != testOptions().SubheapUserSize {
+		t.Fatalf("QuarantinedBytes = %d, want %d", stats.QuarantinedBytes, testOptions().SubheapUserSize)
+	}
+	report, err := h2.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Quarantined != 1 {
+		t.Fatalf("Check Quarantined = %d, want 1", report.Quarantined)
+	}
+	if !report.OK() {
+		t.Fatalf("quarantine must absorb the problems, got: %v", report.Problems)
+	}
+	if report.Healthy() {
+		t.Fatal("Healthy() must be false with quarantined capacity")
+	}
+	var sub0 SubheapReport
+	for _, sr := range report.SubheapReports {
+		if sr.ID == 0 {
+			sub0 = sr
+		}
+	}
+	if !sub0.Quarantined || sub0.QuarantineReason == "" {
+		t.Fatalf("sub-heap 0 report: %+v", sub0)
+	}
+
+	// A thread pinned to the quarantined shard still allocates — redirected
+	// to the healthy sub-heap.
+	q, err := h2.ThreadOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	pa, err := q.Alloc(64)
+	if err != nil {
+		t.Fatalf("Alloc on quarantined shard must redirect: %v", err)
+	}
+	if pa.Subheap() != 1 {
+		t.Fatalf("redirected alloc landed in sub-heap %d, want 1", pa.Subheap())
+	}
+	pt, err := q.TxAlloc(64, true)
+	if err != nil {
+		t.Fatalf("TxAlloc on quarantined shard must redirect: %v", err)
+	}
+	if pt.Subheap() != 1 {
+		t.Fatalf("redirected tx alloc landed in sub-heap %d, want 1", pt.Subheap())
+	}
+
+	// Frees on the healthy sub-heap work; frees into the quarantined region
+	// are rejected with the dedicated error.
+	if err := q.Free(p1); err != nil {
+		t.Fatalf("Free on healthy sub-heap: %v", err)
+	}
+	if err := q.Free(p0); !errors.Is(err, ErrSubheapQuarantined) {
+		t.Fatalf("Free into quarantined sub-heap: %v, want ErrSubheapQuarantined", err)
+	}
+	if _, err := q.BlockSize(p0); !errors.Is(err, ErrSubheapQuarantined) {
+		t.Fatalf("BlockSize on quarantined sub-heap: %v, want ErrSubheapQuarantined", err)
+	}
+}
+
+// TestAllSubheapsQuarantined verifies the terminal case: with every
+// sub-heap benched, allocations fail with ErrSubheapQuarantined rather
+// than panicking or looping.
+func TestAllSubheapsQuarantined(t *testing.T) {
+	h := newTestHeap(t)
+	th := newThread(t, h)
+	defer th.Close()
+	if _, err := th.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range h.subheaps {
+		s.quarantine("test")
+	}
+	if _, err := th.Alloc(64); !errors.Is(err, ErrSubheapQuarantined) {
+		t.Fatalf("Alloc = %v, want ErrSubheapQuarantined", err)
+	}
+	if _, err := th.TxAlloc(64, true); !errors.Is(err, ErrSubheapQuarantined) {
+		t.Fatalf("TxAlloc = %v, want ErrSubheapQuarantined", err)
+	}
+}
+
+// TestLoadSurvivesTransientReadFaults exercises the bounded-retry path:
+// transient read errors scoped to the superblock heap-ID word are armed for
+// a couple of faults; Load must retry through them and count the retries.
+func TestLoadSurvivesTransientReadFaults(t *testing.T) {
+	h := newTestHeap(t)
+	th := newThread(t, h)
+	if _, err := th.Alloc(128); err != nil {
+		t.Fatal(err)
+	}
+	th.Close()
+	if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+		t.Fatal(err)
+	}
+	_ = h.Close()
+
+	h.Device().ArmTransientFaults(nvm.TransientFaults{
+		Off:       sbHeapIDOff,
+		Len:       8,
+		Reads:     true,
+		MaxFaults: 2,
+		Seed:      1,
+	})
+	h2, err := Load(h.Device(), testOptions())
+	h.Device().DisarmTransientFaults()
+	if err != nil {
+		t.Fatalf("Load must survive transient faults: %v", err)
+	}
+	if got := h2.Stats().TransientRetries; got != 2 {
+		t.Fatalf("TransientRetries = %d, want 2", got)
+	}
+	auditHeap(t, h2)
+}
+
+// TestLoadFailsWhenTransientFaultsPersist pins the bound: a fault that
+// outlasts every retry surfaces as an error instead of hanging.
+func TestLoadFailsWhenTransientFaultsPersist(t *testing.T) {
+	h := newTestHeap(t)
+	if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+		t.Fatal(err)
+	}
+	_ = h.Close()
+
+	h.Device().ArmTransientFaults(nvm.TransientFaults{
+		Off:   sbHeapIDOff,
+		Len:   8,
+		Reads: true,
+		Seed:  1,
+	})
+	defer h.Device().DisarmTransientFaults()
+	if _, err := Load(h.Device(), testOptions()); !errors.Is(err, nvm.ErrTransient) {
+		t.Fatalf("Load = %v, want ErrTransient", err)
+	}
+}

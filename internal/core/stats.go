@@ -26,4 +26,7 @@ type HeapStats struct {
 	RecoveredBlocks    uint64 // uncommitted tx allocations freed at recovery
 	RecoveredNoops     uint64 // micro-log entries already rolled back by undo
 	PermissionSwitches uint64 // WRPKRU executions (2 per guarded operation)
+	QuarantinedSubheaps uint64 // sub-heaps recovery took out of service
+	QuarantinedBytes    uint64 // user capacity lost to quarantine
+	TransientRetries    uint64 // device I/O retries that survived ErrTransient
 }

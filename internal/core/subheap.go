@@ -3,12 +3,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"poseidon/internal/memblock"
 	"poseidon/internal/mpk"
 	"poseidon/internal/plog"
 	"poseidon/internal/txn"
-	"sync"
 )
 
 // errNoFreeBlock is the internal signal that every free list at or above
@@ -39,7 +40,34 @@ type subheap struct {
 	batch  *txn.Batch
 	ready  bool // logs opened and persistent structures formatted
 
+	// quarantined marks a sub-heap taken out of service because its
+	// metadata failed recovery or audit (degrade-don't-die): allocations
+	// route around it, frees into it are rejected, and its capacity is
+	// reported as lost in Stats. qreason is written before the flag is
+	// published and never mutated after.
+	quarantined atomic.Bool
+	qreason     string
+
 	stats subheapStats
+}
+
+// quarantine takes the sub-heap out of service. Idempotent; the first
+// reason wins.
+func (s *subheap) quarantine(reason string) {
+	if s.quarantined.Load() {
+		return
+	}
+	s.qreason = reason
+	s.quarantined.Store(true)
+}
+
+func (s *subheap) isQuarantined() bool { return s.quarantined.Load() }
+
+func (s *subheap) quarantineReason() string {
+	if !s.quarantined.Load() {
+		return ""
+	}
+	return s.qreason
 }
 
 func newSubheap(h *Heap, id int) (*subheap, error) {
@@ -161,6 +189,9 @@ func (s *subheap) format() error {
 // is transactional: its address is persisted to the micro-log lane before
 // the undo log truncates (§5.3).
 func (s *subheap) alloc(size uint64, lane *plog.MicroLog) (uint64, error) {
+	if s.isQuarantined() {
+		return 0, fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.qreason)
+	}
 	s.mu.Lock()
 	s.h.grant(s.thread)
 	defer func() {
@@ -316,6 +347,9 @@ func (s *subheap) tryAlloc(class int, lane *plog.MicroLog) (blockOff uint64, err
 // (paper §5.5). Invalid and double frees are detected via the hash table
 // and rejected.
 func (s *subheap) free(blockOff uint64) error {
+	if s.isQuarantined() {
+		return fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.qreason)
+	}
 	s.mu.Lock()
 	s.h.grant(s.thread)
 	defer func() {
@@ -535,6 +569,9 @@ func (s *subheap) extendLevel() error {
 // blockSize returns the size of the allocated block starting at device
 // offset blockOff (used by the facade for bounds-checked access).
 func (s *subheap) blockSize(blockOff uint64) (uint64, error) {
+	if s.isQuarantined() {
+		return 0, fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.qreason)
+	}
 	s.mu.Lock()
 	s.h.grant(s.thread)
 	defer func() {

@@ -106,7 +106,7 @@ func runScript(t *testing.T, budget, seed int64) (survived bool, h *Heap) {
 	case 2:
 		policy = nvm.CrashPolicy{Mode: nvm.EvictAll}
 	}
-	if cerr := h.Device().Crash(policy); cerr != nil {
+	if _, cerr := h.Device().Crash(policy); cerr != nil {
 		t.Fatal(cerr)
 	}
 	h2, err := Load(h.Device(), opts)

@@ -88,18 +88,32 @@ func (t *Thread) check() error {
 	return nil
 }
 
+// allocShard resolves the sub-heap Alloc/TxAlloc should use: normally the
+// thread's pinned shard, but if that sub-heap was quarantined at recovery
+// the allocation redirects to the nearest healthy one — degrade, don't die.
+func (t *Thread) allocShard() (int, error) {
+	if !t.h.subheaps[t.shard].isQuarantined() {
+		return t.shard, nil
+	}
+	return t.h.healthyShard(t.shard)
+}
+
 // Alloc carves a block of at least size bytes from the thread's sub-heap —
 // poseidon_alloc (§4.6, §5.2).
 func (t *Thread) Alloc(size uint64) (NVMPtr, error) {
 	if err := t.check(); err != nil {
 		return NVMPtr{}, err
 	}
-	s := t.h.subheaps[t.shard]
+	shard, err := t.allocShard()
+	if err != nil {
+		return NVMPtr{}, err
+	}
+	s := t.h.subheaps[shard]
 	dev, err := s.alloc(size, nil)
 	if err != nil {
 		return NVMPtr{}, err
 	}
-	return makePtr(t.h.heapID, uint16(t.shard), dev-t.h.lay.userBase(t.shard)), nil
+	return makePtr(t.h.heapID, uint16(shard), dev-t.h.lay.userBase(shard)), nil
 }
 
 // TxAlloc performs a transactional allocation — poseidon_tx_alloc (§4.6,
@@ -110,7 +124,11 @@ func (t *Thread) TxAlloc(size uint64, isEnd bool) (NVMPtr, error) {
 	if err := t.check(); err != nil {
 		return NVMPtr{}, err
 	}
-	s := t.h.subheaps[t.shard]
+	shard, err := t.allocShard()
+	if err != nil {
+		return NVMPtr{}, err
+	}
+	s := t.h.subheaps[shard]
 
 	// Micro-log writes happen inside the allocator: grant this thread
 	// metadata write access for the duration (the lane lives in the
@@ -128,7 +146,7 @@ func (t *Thread) TxAlloc(size uint64, isEnd bool) (NVMPtr, error) {
 		}
 	}
 	t.h.revoke(t.pkru)
-	return makePtr(t.h.heapID, uint16(t.shard), dev-t.h.lay.userBase(t.shard)), nil
+	return makePtr(t.h.heapID, uint16(shard), dev-t.h.lay.userBase(shard)), nil
 }
 
 // TxAbandon drops the current transaction's log without freeing its

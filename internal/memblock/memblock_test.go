@@ -412,7 +412,7 @@ func TestTableMatchesModel(t *testing.T) {
 		reopen := func() {
 			// Crash and recover (logs replayed by the owner in real use;
 			// here batches are always either committed or not started).
-			if err := f.w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+			if _, err := f.w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
 				t.Fatal(err)
 			}
 			log, err := plog.OpenUndoLog(f.w, testLogBase, testLogSize)

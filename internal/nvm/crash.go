@@ -21,29 +21,70 @@ const (
 	// Prob, driven by Seed. This is the adversarial case real hardware
 	// permits: caches evict lines whenever they please.
 	EvictRandom
+	// EvictTorn is the sub-cacheline adversary: each dirty line either
+	// persists fully (probability Prob) or tears — exactly one 32-byte half
+	// of it, chosen by Seed, reaches the media while the other half reverts
+	// to its last flushed contents. Real platforms only guarantee 8-byte
+	// store atomicity, so any crash-consistency argument that silently
+	// relies on whole-line survival breaks under this mode. Halves are
+	// 32 bytes, so the 8-byte atomic-store guarantee still holds.
+	EvictTorn
 )
+
+// String names the mode the way cmd/poseidon-torture spells it.
+func (m EvictMode) String() string {
+	switch m {
+	case EvictNone:
+		return "none"
+	case EvictAll:
+		return "all"
+	case EvictRandom:
+		return "random"
+	case EvictTorn:
+		return "torn"
+	default:
+		return "unknown"
+	}
+}
 
 // CrashPolicy describes a simulated power-failure.
 type CrashPolicy struct {
 	Mode EvictMode
-	// Prob is the per-line survival probability for EvictRandom.
+	// Prob is the per-line survival probability for EvictRandom, and the
+	// full-persist (versus torn) probability for EvictTorn.
 	Prob float64
-	// Seed drives EvictRandom deterministically.
+	// Seed drives EvictRandom and EvictTorn deterministically.
 	Seed int64
+}
+
+// CrashReport accounts for the fate of every dirty cacheline at a simulated
+// power failure. It is what failed crash-sweeps print to make a violation
+// diagnosable: "this crash point dropped 17 lines and tore 2".
+type CrashReport struct {
+	// DirtyLines is the number of written-but-unflushed cachelines at the
+	// moment of failure.
+	DirtyLines uint64
+	// PersistedLines reached the media in full.
+	PersistedLines uint64
+	// TornLines had exactly one 32-byte half reach the media (EvictTorn).
+	TornLines uint64
+	// DroppedLines reverted entirely to their last flushed contents.
+	DroppedLines uint64
 }
 
 // Crash simulates a power failure: the device reverts to its persistent
 // image, after the policy decides the fate of each dirty cacheline. The
 // device remains usable afterwards — reopening it models a post-crash
 // restart. Requires crash tracking.
-func (d *Device) Crash(policy CrashPolicy) error {
+func (d *Device) Crash(policy CrashPolicy) (CrashReport, error) {
 	if !d.tracking {
-		return ErrTrackingDisabled
+		return CrashReport{}, ErrTrackingDisabled
 	}
 	var rng *rand.Rand
-	if policy.Mode == EvictRandom {
+	if policy.Mode == EvictRandom || policy.Mode == EvictTorn {
 		rng = rand.New(rand.NewSource(policy.Seed))
 	}
+	var report CrashReport
 	for i := range d.chunks {
 		c := d.chunks[i].Load()
 		if c == nil {
@@ -54,23 +95,37 @@ func (d *Device) Crash(policy CrashPolicy) error {
 				bit := word & (-word)
 				word &^= bit
 				line := uint64(w)*64 + uint64(trailingZeros(bit))
-				persist := false
+				report.DirtyLines++
+				lo := line * CachelineSize
 				switch policy.Mode {
 				case EvictAll:
-					persist = true
-				case EvictRandom:
-					persist = rng.Float64() < policy.Prob
-				}
-				lo := line * CachelineSize
-				if persist {
 					copy(c.shadow[lo:lo+CachelineSize], c.data[lo:lo+CachelineSize])
+					report.PersistedLines++
+				case EvictRandom:
+					if rng.Float64() < policy.Prob {
+						copy(c.shadow[lo:lo+CachelineSize], c.data[lo:lo+CachelineSize])
+						report.PersistedLines++
+					} else {
+						report.DroppedLines++
+					}
+				case EvictTorn:
+					if rng.Float64() < policy.Prob {
+						copy(c.shadow[lo:lo+CachelineSize], c.data[lo:lo+CachelineSize])
+						report.PersistedLines++
+					} else {
+						half := lo + uint64(rng.Intn(2))*(CachelineSize/2)
+						copy(c.shadow[half:half+CachelineSize/2], c.data[half:half+CachelineSize/2])
+						report.TornLines++
+					}
+				default: // EvictNone
+					report.DroppedLines++
 				}
 			}
 			c.dirty[w] = 0
 		}
 		copy(c.data, c.shadow)
 	}
-	return nil
+	return report, nil
 }
 
 // DirtyLines returns the number of cachelines written since their last

@@ -25,6 +25,15 @@ func (d *Device) DisarmFailpoint() {
 	d.failArmed.Store(false)
 }
 
+// FailBudgetRemaining returns the unconsumed failpoint budget. Arming with a
+// huge budget, running a workload, and subtracting the remainder measures
+// exactly how many mutating device operations the workload performs — the
+// crash-point count torture sweeps enumerate. Negative values mean the
+// budget was exhausted and operations have been failing.
+func (d *Device) FailBudgetRemaining() int64 {
+	return d.failBudget.Load()
+}
+
 // failing reports (and consumes) one unit of the armed failpoint budget.
 func (d *Device) failing() bool {
 	if !d.failArmed.Load() {

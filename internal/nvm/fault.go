@@ -1,0 +1,155 @@
+// Media-fault injection: bit flips that corrupt the persistent image in
+// place (stray writes, failing cells) and armable transient I/O errors
+// (the "device momentarily refused" class real NVDIMMs report as poison or
+// EIO). Both are deterministic so torture sweeps can emit exact
+// reproducers; neither requires crash tracking.
+
+package nvm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrTransient reports an armed transient media error: the operation failed
+// this time but retrying may succeed, unlike ErrDeviceFailed (the machine is
+// dying) or ErrOutOfRange (the caller is wrong). Recovery paths are expected
+// to survive it with bounded retry.
+var ErrTransient = errors.New("nvm: transient media error")
+
+// InjectBitFlip flips bit `bit` (0..7) of the byte at off in BOTH the
+// working and persistent images, without marking the line dirty: the
+// corruption is on the media itself and survives crashes, flushes and
+// save/load cycles — exactly what a stray DMA, a disturbed cell or a torn
+// repair leaves behind. Audit machinery (core.Check, quarantine) is what is
+// supposed to notice.
+func (d *Device) InjectBitFlip(off uint64, bit uint8) error {
+	if err := d.checkRange(off, 1); err != nil {
+		return err
+	}
+	if bit > 7 {
+		return fmt.Errorf("nvm: bit %d out of range [0,7]", bit)
+	}
+	c := d.materialise(off)
+	in := off & chunkMask
+	c.data[in] ^= 1 << bit
+	if d.tracking {
+		c.shadow[in] ^= 1 << bit
+	}
+	return nil
+}
+
+// InjectRandomBitFlip flips one seed-chosen bit inside [off, off+n) and
+// returns its location, for tests that want "some corruption in this
+// region" with a reproducible position.
+func (d *Device) InjectRandomBitFlip(off, n uint64, seed int64) (uint64, uint8, error) {
+	if n == 0 {
+		return 0, 0, fmt.Errorf("nvm: empty bit-flip range")
+	}
+	if err := d.checkRange(off, n); err != nil {
+		return 0, 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	target := off + uint64(rng.Int63n(int64(n)))
+	bit := uint8(rng.Intn(8))
+	return target, bit, d.InjectBitFlip(target, bit)
+}
+
+// TransientFaults arms seed-deterministic transient I/O errors.
+type TransientFaults struct {
+	// Off/Len scope the faults to [Off, Off+Len); Len == 0 means the whole
+	// device. An operation is eligible if it overlaps the range.
+	Off, Len uint64
+	// Reads and Writes select which operation classes can fault. If both
+	// are false, writes fault (the common case: stores hit the bad region).
+	Reads, Writes bool
+	// Prob is the per-operation fault probability. Zero means 1.0 (every
+	// eligible operation faults until MaxFaults is exhausted).
+	Prob float64
+	// MaxFaults bounds the number of injected faults; 0 means unlimited
+	// until DisarmTransientFaults.
+	MaxFaults int64
+	// Seed drives the per-operation draw deterministically.
+	Seed int64
+}
+
+// transientState is the armed config plus its mutable draw state.
+type transientState struct {
+	cfg      TransientFaults
+	mu       sync.Mutex
+	rng      *rand.Rand
+	injected atomic.Int64
+}
+
+// ArmTransientFaults arms transient errors on the device. Re-arming
+// replaces any previous configuration and resets the injected count.
+func (d *Device) ArmTransientFaults(cfg TransientFaults) {
+	if !cfg.Reads && !cfg.Writes {
+		cfg.Writes = true
+	}
+	st := &transientState{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	d.transient.Store(st)
+}
+
+// DisarmTransientFaults returns the device to normal operation.
+func (d *Device) DisarmTransientFaults() {
+	d.transient.Store(nil)
+}
+
+// TransientFaultsInjected returns the number of faults injected since the
+// last arm, or 0 when disarmed.
+func (d *Device) TransientFaultsInjected() int64 {
+	if st := d.transient.Load(); st != nil {
+		return st.injected.Load()
+	}
+	return 0
+}
+
+// transientFault reports whether the eligible operation on [off, off+n)
+// should fail with ErrTransient, consuming one draw from the seeded stream.
+func (st *transientState) transientFault(off, n uint64, isRead bool) bool {
+	cfg := &st.cfg
+	if isRead && !cfg.Reads || !isRead && !cfg.Writes {
+		return false
+	}
+	if cfg.Len != 0 && (off >= cfg.Off+cfg.Len || off+n <= cfg.Off) {
+		return false
+	}
+	if cfg.MaxFaults > 0 && st.injected.Load() >= cfg.MaxFaults {
+		return false
+	}
+	if cfg.Prob > 0 && cfg.Prob < 1 {
+		st.mu.Lock()
+		hit := st.rng.Float64() < cfg.Prob
+		st.mu.Unlock()
+		if !hit {
+			return false
+		}
+	}
+	if cfg.MaxFaults > 0 && st.injected.Add(1) > cfg.MaxFaults {
+		return false
+	}
+	if cfg.MaxFaults == 0 {
+		st.injected.Add(1)
+	}
+	return true
+}
+
+// faultWrite and faultRead are the hot-path hooks: one atomic pointer load
+// when disarmed.
+func (d *Device) faultWrite(off, n uint64) error {
+	if st := d.transient.Load(); st != nil && st.transientFault(off, n, false) {
+		return fmt.Errorf("%w: write [%#x,%#x)", ErrTransient, off, off+n)
+	}
+	return nil
+}
+
+func (d *Device) faultRead(off, n uint64) error {
+	if st := d.transient.Load(); st != nil && st.transientFault(off, n, true) {
+		return fmt.Errorf("%w: read [%#x,%#x)", ErrTransient, off, off+n)
+	}
+	return nil
+}

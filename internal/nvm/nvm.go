@@ -82,6 +82,7 @@ type Device struct {
 	tracking bool
 	stats    *Stats
 	failpointState
+	transient atomic.Pointer[transientState]
 
 	chunkInit sync.Mutex // serialises chunk materialisation only
 	chunks    []atomic.Pointer[chunk]
@@ -170,6 +171,9 @@ func (d *Device) Write(off uint64, b []byte) error {
 	if d.failing() {
 		return ErrDeviceFailed
 	}
+	if err := d.faultWrite(off, uint64(len(b))); err != nil {
+		return err
+	}
 	if d.stats != nil {
 		d.stats.Writes.Add(1)
 		d.stats.BytesWritten.Add(uint64(len(b)))
@@ -194,6 +198,9 @@ func (d *Device) Write(off uint64, b []byte) error {
 // Read copies len(b) bytes at off into b. Unwritten regions read as zero.
 func (d *Device) Read(off uint64, b []byte) error {
 	if err := d.checkRange(off, uint64(len(b))); err != nil {
+		return err
+	}
+	if err := d.faultRead(off, uint64(len(b))); err != nil {
 		return err
 	}
 	for len(b) > 0 {
@@ -224,6 +231,9 @@ func (d *Device) WriteU64(off uint64, v uint64) error {
 		if d.failing() {
 			return ErrDeviceFailed
 		}
+		if err := d.faultWrite(off, 8); err != nil {
+			return err
+		}
 		if d.stats != nil {
 			d.stats.Writes.Add(1)
 			d.stats.BytesWritten.Add(8)
@@ -246,6 +256,9 @@ func (d *Device) ReadU64(off uint64) (uint64, error) {
 		return 0, err
 	}
 	if off&chunkMask <= ChunkSize-8 {
+		if err := d.faultRead(off, 8); err != nil {
+			return 0, err
+		}
 		c := d.getChunk(off)
 		if c == nil {
 			return 0, nil
@@ -314,6 +327,9 @@ func (d *Device) Zero(off, n uint64) error {
 	if d.failing() {
 		return ErrDeviceFailed
 	}
+	if err := d.faultWrite(off, n); err != nil {
+		return err
+	}
 	if d.stats != nil {
 		d.stats.Writes.Add(1)
 		d.stats.BytesWritten.Add(n)
@@ -349,6 +365,9 @@ func (d *Device) Flush(off, n uint64) error {
 	}
 	if d.failing() {
 		return ErrDeviceFailed
+	}
+	if err := d.faultWrite(off, n); err != nil {
+		return err
 	}
 	start := off &^ (CachelineSize - 1)
 	end := (off + n + CachelineSize - 1) &^ (CachelineSize - 1)
@@ -434,7 +453,14 @@ func (d *Device) PunchHole(off, n uint64) error {
 		}
 		at += step
 	}
-	// Drop whole chunks.
+	// Drop whole chunks. The drop phase consumes exactly one failpoint
+	// budget unit, before any chunk is released, so crash sweeps see a
+	// deterministic per-op cost and never observe a half-punched range.
+	if at+ChunkSize <= end {
+		if d.failing() {
+			return ErrDeviceFailed
+		}
+	}
 	for at+ChunkSize <= end {
 		idx := at >> chunkShift
 		if c := d.chunks[idx].Swap(nil); c != nil {

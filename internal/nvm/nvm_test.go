@@ -84,7 +84,7 @@ func TestWriteSpansChunkBoundary(t *testing.T) {
 		t.Fatalf("Flush: %v", err)
 	}
 	d.Fence()
-	if err := d.Crash(CrashPolicy{Mode: EvictNone}); err != nil {
+	if _, err := d.Crash(CrashPolicy{Mode: EvictNone}); err != nil {
 		t.Fatalf("Crash: %v", err)
 	}
 	if err := d.Read(off, got); err != nil {
@@ -175,7 +175,7 @@ func TestCrashDropsUnflushedWrites(t *testing.T) {
 	if err := d.Write(64, []byte("volatile")); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Crash(CrashPolicy{Mode: EvictNone}); err != nil {
+	if _, err := d.Crash(CrashPolicy{Mode: EvictNone}); err != nil {
 		t.Fatal(err)
 	}
 	got := make([]byte, 8)
@@ -198,7 +198,7 @@ func TestCrashEvictAllKeepsDirtyWrites(t *testing.T) {
 	if err := d.Write(64, []byte("volatile")); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Crash(CrashPolicy{Mode: EvictAll}); err != nil {
+	if _, err := d.Crash(CrashPolicy{Mode: EvictAll}); err != nil {
 		t.Fatal(err)
 	}
 	got := make([]byte, 8)
@@ -222,7 +222,7 @@ func TestCrashEvictRandomIsDeterministic(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		if err := d.Crash(CrashPolicy{Mode: EvictRandom, Prob: 0.5, Seed: seed}); err != nil {
+		if _, err := d.Crash(CrashPolicy{Mode: EvictRandom, Prob: 0.5, Seed: seed}); err != nil {
 			t.Fatal(err)
 		}
 		out := make([]byte, 64*CachelineSize)
@@ -249,7 +249,7 @@ func TestCrashPartialLineGranularity(t *testing.T) {
 	if err := d.Write(1, []byte{2}); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Crash(CrashPolicy{Mode: EvictNone}); err != nil {
+	if _, err := d.Crash(CrashPolicy{Mode: EvictNone}); err != nil {
 		t.Fatal(err)
 	}
 	b0, _ := d.ReadU8(0)
@@ -264,7 +264,7 @@ func TestCrashPartialLineGranularity(t *testing.T) {
 
 func TestCrashRequiresTracking(t *testing.T) {
 	d := newTestDevice(t, ChunkSize, false)
-	if err := d.Crash(CrashPolicy{Mode: EvictNone}); !errors.Is(err, ErrTrackingDisabled) {
+	if _, err := d.Crash(CrashPolicy{Mode: EvictNone}); !errors.Is(err, ErrTrackingDisabled) {
 		t.Fatalf("err = %v, want ErrTrackingDisabled", err)
 	}
 	if _, err := d.DirtyLines(); !errors.Is(err, ErrTrackingDisabled) {
@@ -335,7 +335,7 @@ func TestPunchHolePartialEdgesZeroDurably(t *testing.T) {
 	if err := d.PunchHole(101, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Crash(CrashPolicy{Mode: EvictNone}); err != nil {
+	if _, err := d.Crash(CrashPolicy{Mode: EvictNone}); err != nil {
 		t.Fatal(err)
 	}
 	got := make([]byte, 4)
@@ -545,7 +545,7 @@ func TestQuickDeviceMatchesModel(t *testing.T) {
 				}
 				d.Fence()
 			case 3: // crash that keeps all dirty lines
-				if err := d.Crash(CrashPolicy{Mode: EvictAll}); err != nil {
+				if _, err := d.Crash(CrashPolicy{Mode: EvictAll}); err != nil {
 					return false
 				}
 			}
@@ -594,7 +594,7 @@ func TestQuickCrashKeepsExactlyFlushed(t *testing.T) {
 				copy(persisted[start:end], current[start:end])
 			}
 		}
-		if err := d.Crash(CrashPolicy{Mode: EvictNone}); err != nil {
+		if _, err := d.Crash(CrashPolicy{Mode: EvictNone}); err != nil {
 			return false
 		}
 		got := make([]byte, capacity)

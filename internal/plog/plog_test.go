@@ -69,7 +69,7 @@ func TestUndoProtectsMutation(t *testing.T) {
 	if err := w.Persist(dataBase, []byte("CLOBBERED-CLOBBERED-DATA")); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictAll}); err != nil {
+	if _, err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictAll}); err != nil {
 		t.Fatal(err)
 	}
 	// Restart: reopen, replay.
@@ -102,7 +102,7 @@ func TestUndoUnsealedEntriesDoNotReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	// No Seal: crash. The snapshot must be invisible.
-	if err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictAll}); err != nil {
+	if _, err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictAll}); err != nil {
 		t.Fatal(err)
 	}
 	l2 := mustUndo(t, w)
@@ -161,7 +161,7 @@ func TestUndoTruncateCompletesOperation(t *testing.T) {
 	if err := l.Truncate(); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+	if _, err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
 		t.Fatal(err)
 	}
 	l2 := mustUndo(t, w)
@@ -297,7 +297,7 @@ func TestUndoCrashRecoveryProperty(t *testing.T) {
 			}
 		}
 		// Crash with adversarial eviction.
-		if err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: seed}); err != nil {
+		if _, err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: seed}); err != nil {
 			t.Fatal(err)
 		}
 		l2 := mustUndo(t, w)
@@ -364,7 +364,7 @@ func TestMicroLogSurvivesCrash(t *testing.T) {
 	if err := l.Append(MicroEntry{Offset: 111, Size: 64}); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+	if _, err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
 		t.Fatal(err)
 	}
 	l2, err := OpenMicroLog(w, logBase, 4096)
@@ -395,7 +395,7 @@ func TestMicroLogCommitDropsHistory(t *testing.T) {
 	if err := l.Truncate(); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+	if _, err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
 		t.Fatal(err)
 	}
 	l2, err := OpenMicroLog(w, logBase, 4096)

@@ -1,0 +1,321 @@
+// Package torture implements exhaustive crash-point sweeps: a scripted
+// workload is measured once to count its mutating device operations, then
+// re-run with the failpoint armed at EVERY operation index, crashed under a
+// configurable eviction policy, reloaded, and audited. A single surviving
+// inconsistency is a violation, reported with the minimal reproducer
+// (seed, crash point, evict mode) that replays it.
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"poseidon/internal/alloc"
+	"poseidon/internal/core"
+	"poseidon/internal/nvm"
+	"poseidon/internal/workloads"
+)
+
+// Config parameterises one sweep.
+type Config struct {
+	// Ops is the operation count of the scripted mix workload; it scales
+	// the number of crash points swept.
+	Ops int
+	// Seed drives the workload and (mixed with the crash point) each
+	// crash's eviction randomness.
+	Seed int64
+	// Modes are the eviction policies to sweep. Empty defaults to all.
+	Modes []nvm.EvictMode
+	// Workers bounds parallel crash-point runs. 0 defaults to 4.
+	Workers int
+	// Prob is the EvictRandom survival / EvictTorn full-persist
+	// probability. 0 defaults to 0.5.
+	Prob float64
+	// Stride sweeps every Stride-th crash point (>=1). 0 defaults to 1.
+	Stride int
+	// Point restricts the sweep to one crash point when SinglePoint is set
+	// — reproducer mode.
+	Point       int
+	SinglePoint bool
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// Violation is one crash point whose recovery left the heap inconsistent.
+type Violation struct {
+	Mode   nvm.EvictMode
+	Point  int
+	Seed   int64
+	Report nvm.CrashReport // fate of the dirty lines at this crash
+	Detail string          // what the audit saw
+}
+
+// Reproducer returns the poseidon-torture invocation that replays exactly
+// this violation.
+func (v Violation) Reproducer(ops int, prob float64) string {
+	return fmt.Sprintf("poseidon-torture -ops %d -seed %d -modes %s -point %d -prob %g",
+		ops, v.Seed, v.Mode, v.Point, prob)
+}
+
+// Result summarises a sweep.
+type Result struct {
+	CrashPoints int // mutating device ops in the workload (points per mode)
+	Runs        int // crash/recover/audit cycles executed
+	Persisted   uint64
+	Dropped     uint64
+	Torn        uint64
+	Violations  []Violation
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Modes) == 0 {
+		c.Modes = []nvm.EvictMode{nvm.EvictNone, nvm.EvictAll, nvm.EvictRandom, nvm.EvictTorn}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Prob == 0 {
+		c.Prob = 0.5
+	}
+	if c.Stride <= 0 {
+		c.Stride = 1
+	}
+	return c
+}
+
+// heapOptions is the fixed torture-heap geometry: small enough that a
+// crash/recover/audit cycle is fast, large enough that the mix workload
+// never legitimately exhausts it.
+func heapOptions() core.Options {
+	return core.Options{
+		Subheaps:        2,
+		SubheapUserSize: 1 << 20,
+		SubheapMetaSize: 256 << 10,
+		UndoLogSize:     64 << 10,
+		MaxThreads:      8,
+		HeapID:          0x70051D04, // fixed: runs must be byte-identical
+		CrashTracking:   true,
+		ScrubOnLoad:     true,
+	}
+}
+
+// runWorkload drives the scripted operation sequence on h: transactional
+// allocation bursts, a root update, the seeded alloc/free mix, and one
+// Kruskal iteration. Deterministic for a given seed.
+func runWorkload(h *core.Heap, ops int, seed int64) error {
+	th, err := h.Thread()
+	if err != nil {
+		return err
+	}
+	for burst := 0; burst < 2; burst++ {
+		for j := 0; j < 4; j++ {
+			if _, err := th.TxAlloc(64<<j, j == 3); err != nil {
+				th.Close()
+				return err
+			}
+		}
+	}
+	root, err := th.Alloc(64)
+	if err != nil {
+		th.Close()
+		return err
+	}
+	if err := h.SetRoot(root); err != nil {
+		th.Close()
+		return err
+	}
+	th.Close()
+
+	hd, err := alloc.WrapPoseidon(h).Thread(0)
+	if err != nil {
+		return err
+	}
+	defer hd.Close()
+	if _, err := workloads.Mix(hd, ops, seed); err != nil {
+		return err
+	}
+	if _, err := workloads.Kruskal(hd, 1, seed+1); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CountOps measures the workload: it arms an effectively infinite failpoint
+// budget, runs to completion, and reads back how much was consumed — the
+// exact number of mutating device operations, i.e. the crash points to
+// sweep.
+func CountOps(ops int, seed int64) (int, error) {
+	h, err := core.Create(heapOptions())
+	if err != nil {
+		return 0, err
+	}
+	defer h.Close()
+	const huge = int64(1) << 40
+	h.Device().FailAfter(huge)
+	err = runWorkload(h, ops, seed)
+	consumed := huge - h.Device().FailBudgetRemaining()
+	h.Device().DisarmFailpoint()
+	if err != nil {
+		return 0, fmt.Errorf("torture: workload failed during measurement: %w", err)
+	}
+	return int(consumed), nil
+}
+
+// pointSeed mixes the sweep seed with a crash point so each crash draws
+// independent (but reproducible) eviction randomness.
+func pointSeed(seed int64, point int) int64 {
+	return seed ^ int64(uint64(point)*0x9E3779B97F4A7C15)
+}
+
+// runPoint executes one crash/recover/audit cycle: fresh heap, workload
+// with the failpoint armed at point, crash under mode, reload, full audit,
+// post-recovery smoke allocation. Returns a non-nil Violation on any
+// surviving inconsistency.
+func runPoint(cfg Config, mode nvm.EvictMode, point int) (nvm.CrashReport, *Violation, error) {
+	fail := func(report nvm.CrashReport, format string, args ...any) (nvm.CrashReport, *Violation, error) {
+		return report, &Violation{
+			Mode:   mode,
+			Point:  point,
+			Seed:   cfg.Seed,
+			Report: report,
+			Detail: fmt.Sprintf(format, args...),
+		}, nil
+	}
+
+	h, err := core.Create(heapOptions())
+	if err != nil {
+		return nvm.CrashReport{}, nil, err
+	}
+	dev := h.Device()
+	dev.FailAfter(int64(point))
+	werr := runWorkload(h, cfg.Ops, cfg.Seed)
+	dev.DisarmFailpoint()
+	if werr == nil {
+		return nvm.CrashReport{}, nil, fmt.Errorf(
+			"torture: point %d did not trip (workload is non-deterministic?)", point)
+	}
+	if !errors.Is(werr, nvm.ErrDeviceFailed) {
+		return fail(nvm.CrashReport{}, "workload failed before the crash point: %v", werr)
+	}
+	_ = h.Close()
+
+	report, err := dev.Crash(nvm.CrashPolicy{
+		Mode: mode,
+		Prob: cfg.Prob,
+		Seed: pointSeed(cfg.Seed, point),
+	})
+	if err != nil {
+		return report, nil, err
+	}
+
+	h2, err := core.Load(dev, heapOptions())
+	if err != nil {
+		return fail(report, "Load after crash: %v", err)
+	}
+	defer h2.Close()
+	check, err := h2.Check()
+	if err != nil {
+		return fail(report, "audit error: %v", err)
+	}
+	switch {
+	case len(check.Problems) > 0:
+		return fail(report, "audit found %d problems: %v", len(check.Problems), check.Problems)
+	case check.Quarantined > 0:
+		// With ScrubOnLoad on, a quarantine here means recovery classified
+		// legitimate crash damage as corruption — degrade-don't-die must
+		// never fire on a pure power failure.
+		return fail(report, "recovery quarantined %d sub-heaps: %+v",
+			check.Quarantined, check.SubheapReports)
+	case check.PendingUndo != 0 || check.PendingTx != 0:
+		return fail(report, "recovery left pending work: undo=%d tx=%d",
+			check.PendingUndo, check.PendingTx)
+	}
+
+	// The recovered heap must still serve: allocate and free a block.
+	th, err := h2.Thread()
+	if err != nil {
+		return fail(report, "post-recovery Thread: %v", err)
+	}
+	defer th.Close()
+	p, err := th.Alloc(128)
+	if err != nil {
+		return fail(report, "post-recovery Alloc: %v", err)
+	}
+	if err := th.Free(p); err != nil {
+		return fail(report, "post-recovery Free: %v", err)
+	}
+	return report, nil, nil
+}
+
+// Run executes the sweep described by cfg.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	total, err := CountOps(cfg.Ops, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{CrashPoints: total}
+
+	var points []int
+	if cfg.SinglePoint {
+		if cfg.Point < 0 || cfg.Point >= total {
+			return res, fmt.Errorf("torture: point %d out of range [0, %d)", cfg.Point, total)
+		}
+		points = []int{cfg.Point}
+	} else {
+		for k := 0; k < total; k += cfg.Stride {
+			points = append(points, k)
+		}
+	}
+	logf("workload: %d mix ops -> %d mutating device ops; sweeping %d points x %d modes",
+		cfg.Ops, total, len(points), len(cfg.Modes))
+
+	var (
+		mu    sync.Mutex
+		first error
+	)
+	for _, mode := range cfg.Modes {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for point := range jobs {
+					report, v, err := runPoint(cfg, mode, point)
+					mu.Lock()
+					res.Runs++
+					res.Persisted += uint64(report.PersistedLines)
+					res.Dropped += uint64(report.DroppedLines)
+					res.Torn += uint64(report.TornLines)
+					if err != nil && first == nil {
+						first = err
+					}
+					if v != nil {
+						res.Violations = append(res.Violations, *v)
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for _, k := range points {
+			jobs <- k
+		}
+		close(jobs)
+		wg.Wait()
+		mu.Lock()
+		viol := len(res.Violations)
+		mu.Unlock()
+		logf("mode %-6s swept %d points (%d violations so far)", mode, len(points), viol)
+		if first != nil {
+			return res, first
+		}
+	}
+	return res, nil
+}

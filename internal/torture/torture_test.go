@@ -1,0 +1,82 @@
+package torture
+
+import (
+	"strings"
+	"testing"
+
+	"poseidon/internal/nvm"
+)
+
+func TestCountOpsDeterministic(t *testing.T) {
+	a, err := CountOps(8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CountOps(8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("op counts differ across runs: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Fatal("workload performed no mutating device ops")
+	}
+}
+
+func TestSweepSmallAllModes(t *testing.T) {
+	res, err := Run(Config{
+		Ops:     4,
+		Seed:    7,
+		Workers: 4,
+		Stride:  7, // sample the space; the full sweep is the CLI's job
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		for _, v := range res.Violations {
+			t.Errorf("mode=%s point=%d: %s", v.Mode, v.Point, v.Detail)
+		}
+		t.Fatalf("%d violations in a %d-run sweep", len(res.Violations), res.Runs)
+	}
+	wantPoints := (res.CrashPoints + 6) / 7
+	if res.Runs != wantPoints*4 {
+		t.Fatalf("Runs = %d, want %d points x 4 modes", res.Runs, wantPoints)
+	}
+}
+
+func TestSinglePointReproducerMode(t *testing.T) {
+	res, err := Run(Config{
+		Ops:   4,
+		Seed:  7,
+		Modes:       []nvm.EvictMode{nvm.EvictTorn},
+		Point:       25,
+		SinglePoint: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 1 {
+		t.Fatalf("Runs = %d, want 1", res.Runs)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %+v", res.Violations)
+	}
+}
+
+func TestPointOutOfRange(t *testing.T) {
+	_, err := Run(Config{Ops: 4, Seed: 7, Point: 1 << 30, SinglePoint: true})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v, want out-of-range", err)
+	}
+}
+
+func TestReproducerLine(t *testing.T) {
+	v := Violation{Mode: nvm.EvictRandom, Point: 123, Seed: 9}
+	got := v.Reproducer(256, 0.5)
+	want := "poseidon-torture -ops 256 -seed 9 -modes random -point 123 -prob 0.5"
+	if got != want {
+		t.Fatalf("Reproducer = %q, want %q", got, want)
+	}
+}

@@ -111,7 +111,7 @@ func TestCommitIsAtomicUnderCrash(t *testing.T) {
 	if !errors.Is(err, errBoom) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: 7}); err != nil {
+	if _, err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: 7}); err != nil {
 		t.Fatal(err)
 	}
 	// Recovery: reopen log and replay.
@@ -143,7 +143,7 @@ func TestCommittedBatchSurvivesCrash(t *testing.T) {
 	if err := b.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+	if _, err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
 		t.Fatal(err)
 	}
 	log, err := plog.OpenUndoLog(w, logBase, logSize)
@@ -216,7 +216,7 @@ func TestCrashAtomicityProperty(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		if err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.4, Seed: seed * 31}); err != nil {
+		if _, err := w.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.4, Seed: seed * 31}); err != nil {
 			t.Fatal(err)
 		}
 		log, err := plog.OpenUndoLog(w, logBase, logSize)

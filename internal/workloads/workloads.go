@@ -195,6 +195,54 @@ func Kruskal(h alloc.Handle, iters int, seed int64) (uint64, error) {
 	return ops, nil
 }
 
+// Mix runs a seeded pseudo-random alloc/write/persist/free mix of n
+// operations — the scripted workload of the torture sweeps, which need a
+// workload that (a) exercises many size classes and free patterns and
+// (b) performs an identical operation sequence for the same seed, so crash
+// points enumerated on one run land on the same device operations on every
+// re-run.
+func Mix(h alloc.Handle, n int, seed int64) (uint64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	type block struct {
+		p    alloc.Ptr
+		size uint64
+	}
+	var live []block
+	var ops uint64
+	for i := 0; i < n; i++ {
+		if len(live) == 0 || rng.Intn(10) < 6 {
+			size := uint64(32) << rng.Intn(6) // 32 B .. 1 KiB
+			p, err := h.Alloc(size)
+			if err != nil {
+				return ops, err
+			}
+			ops++
+			if err := h.WriteU64(p, 0, uint64(i)<<8|size); err != nil {
+				return ops, err
+			}
+			if err := h.Persist(p, 0, 8); err != nil {
+				return ops, err
+			}
+			live = append(live, block{p, size})
+			continue
+		}
+		j := rng.Intn(len(live))
+		if err := h.Free(live[j].p); err != nil {
+			return ops, err
+		}
+		ops++
+		live[j] = live[len(live)-1]
+		live = live[:len(live)-1]
+	}
+	for _, b := range live {
+		if err := h.Free(b.p); err != nil {
+			return ops, err
+		}
+		ops++
+	}
+	return ops, nil
+}
+
 // NQueens runs iters cycles of the paper's N-Queens benchmark: one 32 B
 // allocation holds the solver state/result for an 8×8 board; the puzzle is
 // solved and the block freed (§7.4).

@@ -80,6 +80,9 @@ var (
 	ErrBadSize     = core.ErrBadSize
 	ErrCorruptHeap = core.ErrCorruptHeap
 	ErrClosed      = core.ErrClosed
+	// ErrSubheapQuarantined reports an operation on a sub-heap that
+	// recovery took out of service (degrade-don't-die).
+	ErrSubheapQuarantined = core.ErrSubheapQuarantined
 )
 
 // Heap is a Poseidon persistent heap. It wraps the core implementation

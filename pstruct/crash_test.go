@@ -18,7 +18,7 @@ import (
 
 func reopenList(t *testing.T, h *poseidon.Heap, seed int64) (*poseidon.Heap, *poseidon.Thread, *List) {
 	t.Helper()
-	if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: seed}); err != nil {
+	if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: seed}); err != nil {
 		t.Fatal(err)
 	}
 	ch, err := core.Load(h.Device(), core.Options{CrashTracking: true})
@@ -142,7 +142,7 @@ func TestQueueEnqueueCrashSweep(t *testing.T) {
 			h.Device().DisarmFailpoint()
 			th.Close()
 
-			if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: budget * 37}); err != nil {
+			if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictRandom, Prob: 0.5, Seed: budget * 37}); err != nil {
 				t.Fatal(err)
 			}
 			ch, err := core.Load(h.Device(), core.Options{CrashTracking: true})

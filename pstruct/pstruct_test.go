@@ -110,7 +110,7 @@ func TestListSurvivesRestart(t *testing.T) {
 	th.Close()
 
 	// Crash and reload.
-	if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+	if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
 		t.Fatal(err)
 	}
 	ch, err := core.Load(h.Device(), core.Options{CrashTracking: true})
@@ -176,7 +176,7 @@ func TestListRecoverUnpublishedPush(t *testing.T) {
 		t.Fatal(err)
 	}
 	th.Close()
-	if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+	if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
 		t.Fatal(err)
 	}
 	ch, err := core.Load(h.Device(), core.Options{CrashTracking: true})
@@ -239,7 +239,7 @@ func TestListRecoverPublishedPush(t *testing.T) {
 		t.Fatal(err)
 	}
 	th.Close()
-	if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+	if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
 		t.Fatal(err)
 	}
 	ch, err := core.Load(h.Device(), core.Options{CrashTracking: true})

@@ -114,7 +114,7 @@ func TestQueueSurvivesRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	th.Close()
-	if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+	if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
 		t.Fatal(err)
 	}
 	ch, err := core.Load(h.Device(), core.Options{CrashTracking: true})
@@ -174,7 +174,7 @@ func TestQueueRecoverUnlinkedSegment(t *testing.T) {
 		t.Fatal(err)
 	}
 	th.Close()
-	if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+	if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
 		t.Fatal(err)
 	}
 	ch, err := core.Load(h.Device(), core.Options{CrashTracking: true})
@@ -245,7 +245,7 @@ func TestQueueRecoverLinkedSegment(t *testing.T) {
 		t.Fatal(err)
 	}
 	th.Close()
-	if err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+	if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
 		t.Fatal(err)
 	}
 	ch, err := core.Load(h.Device(), core.Options{CrashTracking: true})

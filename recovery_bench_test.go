@@ -43,7 +43,7 @@ func BenchmarkRecoveryPoseidonLoad(b *testing.B) {
 			// chunk and would otherwise dominate the measurement); the
 			// timed section is the restart path itself — §5.1's log scan,
 			// which must not depend on the live-object count.
-			if err := dev.Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+			if _, err := dev.Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
