@@ -26,6 +26,7 @@ import (
 	"poseidon/internal/larson"
 	"poseidon/internal/makalu"
 	"poseidon/internal/nvm"
+	"poseidon/internal/obs"
 	"poseidon/internal/pmdkalloc"
 	"poseidon/internal/workloads"
 	"poseidon/internal/ycsb"
@@ -49,7 +50,21 @@ func run() error {
 	flag.StringVar(&cfg.fig, "fig", "all", "figure to regenerate: 6, 7, 8, 9, ablation, all")
 	flag.IntVar(&cfg.maxThreads, "maxthreads", defaultThreads(), "largest thread count in the sweep")
 	flag.IntVar(&cfg.scale, "scale", 1, "work multiplier (larger = longer, steadier numbers)")
+	metrics := flag.String("metrics", "", "serve /metrics, /vars and /debug/pprof on this address (empty = off)")
 	flag.Parse()
+
+	if *metrics != "" {
+		// One registry shared by every Poseidon heap the figures create:
+		// the endpoint aggregates latency and attribution across the run.
+		tel := obs.New()
+		benchutil.SetTelemetry(tel)
+		srv, err := obs.Serve(*metrics, tel.Snapshot)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("# metrics: http://%s/metrics\n", srv.Addr)
+	}
 
 	figs := map[string]func(config) error{
 		"6":          fig6,

@@ -3,20 +3,26 @@
 // levels, log states and lifetime counters.
 //
 //	poseidon-inspect heap.img
+//	poseidon-inspect -stats heap.img         # full telemetry snapshot
+//	poseidon-inspect -stats -json heap.img   # the same snapshot as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"poseidon/internal/core"
 	"poseidon/internal/nvm"
+	"poseidon/internal/obs"
 )
 
 func main() {
+	stats := flag.Bool("stats", false, "print the full telemetry snapshot (latency, attribution, gauges, events) after loading")
+	asJSON := flag.Bool("json", false, "with -stats: print the snapshot as JSON instead of text")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: poseidon-inspect <heap-image>")
+		fmt.Fprintln(os.Stderr, "usage: poseidon-inspect [-stats [-json]] <heap-image>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -24,20 +30,35 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0)); err != nil {
+	if err := run(flag.Arg(0), *stats, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "poseidon-inspect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string) error {
-	dev, err := nvm.LoadFile(path, nvm.Options{})
+func run(path string, stats, asJSON bool) error {
+	var tel *obs.Telemetry
+	if stats {
+		tel = obs.New()
+	}
+	dev, err := nvm.LoadFile(path, nvm.Options{Stats: stats})
 	if err != nil {
 		return err
 	}
-	h, err := core.Load(dev, core.Options{})
+	h, err := core.Load(dev, core.Options{Telemetry: tel})
 	if err != nil {
 		return err
 	}
-	return h.Inspect(os.Stdout)
+	if !stats {
+		return h.Inspect(os.Stdout)
+	}
+	// Offline snapshot: the load itself populates the recovery/scrub
+	// histograms and attribution; the gauges reflect the image's state.
+	snap := h.Metrics()
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap)
+	}
+	return obs.WriteText(os.Stdout, snap)
 }

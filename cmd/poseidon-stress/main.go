@@ -18,6 +18,7 @@ import (
 
 	"poseidon/internal/core"
 	"poseidon/internal/nvm"
+	"poseidon/internal/obs"
 )
 
 func main() {
@@ -33,19 +34,34 @@ func run() error {
 		threads = flag.Int("threads", 4, "concurrent workers")
 		ops     = flag.Int("ops", 3000, "operations per worker per cycle")
 		seed    = flag.Int64("seed", 1, "randomness seed")
+		metrics = flag.String("metrics", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. :9120; empty = off)")
 	)
 	flag.Parse()
 
+	tel := obs.New()
 	opts := core.Options{
 		Subheaps:        *threads,
 		SubheapUserSize: 8 << 20,
 		SubheapMetaSize: 2 << 20,
 		MaxThreads:      *threads * 2,
 		CrashTracking:   true,
+		Telemetry:       tel,
 	}
 	h, err := core.Create(opts)
 	if err != nil {
 		return err
+	}
+	// The heap is replaced on every crash/recover cycle; the metrics
+	// endpoint snapshots whichever heap is current.
+	var cur atomic.Pointer[core.Heap]
+	cur.Store(h)
+	if *metrics != "" {
+		srv, err := obs.Serve(*metrics, func() *obs.Snapshot { return cur.Load().Metrics() })
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", srv.Addr)
 	}
 	var totalOps atomic.Uint64
 	var totalRecovered uint64
@@ -108,6 +124,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		tel.Emit(obs.EventCrash, -1, fmt.Sprintf(
+			"cycle %d: power failure kept %d/%d dirty lines", cycle, crash.PersistedLines, crash.DirtyLines))
 		h2, err := core.Load(h.Device(), opts)
 		if err != nil {
 			return fmt.Errorf("cycle %d: recovery failed: %w", cycle, err)
@@ -128,8 +146,32 @@ func run() error {
 			cycle, report.AllocatedBlocks, report.FreeBlocks, st.RecoveredBlocks,
 			crash.PersistedLines, crash.DirtyLines)
 		h = h2
+		cur.Store(h)
 	}
 	fmt.Printf("PASS: %d cycles, %d operations, %d transactional rollbacks, 0 inconsistencies\n",
 		*cycles, totalOps.Load(), totalRecovered)
+	if ds := h.DeviceStats(); ds.Enabled {
+		fmt.Printf("device: %d writes (%d bytes), %d cacheline flushes, %d fences\n",
+			ds.Writes, ds.BytesWritten, ds.Flushes, ds.Fences)
+	}
+	for _, op := range []obs.Op{obs.OpAlloc, obs.OpFree, obs.OpTxAlloc} {
+		hs := tel.Hist(op)
+		if hs.Count == 0 {
+			continue
+		}
+		fmt.Printf("%-8s n=%-8d p50=%s p99=%s max=%s\n", op, hs.Count,
+			nsStr(hs.Quantile(0.50)), nsStr(hs.Quantile(0.99)), nsStr(hs.Max))
+	}
 	return nil
+}
+
+func nsStr(ns uint64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
 }

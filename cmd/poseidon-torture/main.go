@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"poseidon/internal/nvm"
+	"poseidon/internal/obs"
 	"poseidon/internal/torture"
 )
 
@@ -61,6 +62,7 @@ func run() error {
 		stride  = flag.Int("stride", 1, "sweep every stride-th crash point")
 		point   = flag.Int("point", -1, "sweep only this crash point (reproducer mode)")
 		quiet   = flag.Bool("q", false, "suppress progress output")
+		metrics = flag.String("metrics", "", "serve /metrics, /vars and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -68,13 +70,23 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	tel := obs.New()
 	cfg := torture.Config{
-		Ops:     *ops,
-		Seed:    *seed,
-		Modes:   modes,
-		Workers: *workers,
-		Prob:    *prob,
-		Stride:  *stride,
+		Ops:       *ops,
+		Seed:      *seed,
+		Modes:     modes,
+		Workers:   *workers,
+		Prob:      *prob,
+		Stride:    *stride,
+		Telemetry: tel,
+	}
+	if *metrics != "" {
+		srv, err := obs.Serve(*metrics, tel.Snapshot)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", srv.Addr)
 	}
 	if *point >= 0 {
 		cfg.Point = *point
@@ -95,6 +107,10 @@ func run() error {
 		res.CrashPoints, res.Runs, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("dirty-line fates across all crashes: %d persisted, %d dropped, %d torn\n",
 		res.Persisted, res.Dropped, res.Torn)
+	if rec := tel.Hist(obs.OpRecovery); rec.Count > 0 {
+		fmt.Printf("recovery latency across %d loads: p50=%dns p99=%dns max=%dns\n",
+			rec.Count, rec.Quantile(0.50), rec.Quantile(0.99), rec.Max)
+	}
 	if len(res.Violations) == 0 {
 		fmt.Println("no violations")
 		return nil

@@ -14,6 +14,7 @@ import (
 	"poseidon/internal/alloc"
 	"poseidon/internal/core"
 	"poseidon/internal/makalu"
+	"poseidon/internal/obs"
 	"poseidon/internal/pmdkalloc"
 )
 
@@ -29,7 +30,20 @@ type Config struct {
 	HeapBytes uint64
 	// Protection overrides Poseidon's metadata guard (default MPK).
 	Protection core.Protection
+	// Telemetry, when non-nil, wires Poseidon heaps into an observability
+	// registry. Falls back to the package default set by SetTelemetry.
+	Telemetry *obs.Telemetry
 }
+
+// defaultTelemetry is applied to every Poseidon heap NewAllocator builds
+// when the Config doesn't carry its own registry — how the bench tool's
+// -metrics endpoint sees heaps created deep inside figure loops.
+var defaultTelemetry *obs.Telemetry
+
+// SetTelemetry installs a process-wide telemetry registry for subsequently
+// created Poseidon allocators. Heaps share the registry, so histograms and
+// attribution aggregate across the whole run.
+func SetTelemetry(t *obs.Telemetry) { defaultTelemetry = t }
 
 // NewAllocator builds one of the three allocators sized for the workload.
 func NewAllocator(name string, cfg Config) (alloc.Allocator, error) {
@@ -49,12 +63,17 @@ func NewAllocator(name string, cfg Config) (alloc.Allocator, error) {
 		if meta < 1<<20 {
 			meta = 1 << 20
 		}
+		tel := cfg.Telemetry
+		if tel == nil {
+			tel = defaultTelemetry
+		}
 		return alloc.NewPoseidon(core.Options{
 			Subheaps:        cfg.Threads,
 			SubheapUserSize: perSub,
 			SubheapMetaSize: meta,
 			MaxThreads:      cfg.Threads + 8,
 			Protection:      cfg.Protection,
+			Telemetry:       tel,
 		})
 	case "pmdk":
 		return pmdkalloc.New(pmdkalloc.Options{Capacity: cfg.HeapBytes})

@@ -19,6 +19,7 @@ import (
 
 	"poseidon/internal/mpk"
 	"poseidon/internal/nvm"
+	"poseidon/internal/obs"
 	"poseidon/internal/plog"
 	"poseidon/internal/txn"
 )
@@ -54,6 +55,13 @@ type Heap struct {
 	rawAttach bool
 
 	transientRetries atomic.Uint64 // I/O retries that survived ErrTransient
+
+	// tel is the optional telemetry registry (Options.Telemetry); nil when
+	// the heap runs uninstrumented. sbRec attributes superblock-window
+	// device traffic; it is retagged under sbMu (or during single-threaded
+	// format/recovery).
+	tel   *obs.Telemetry
+	sbRec *nvm.AttrRecorder
 
 	closed bool
 	mu     sync.Mutex // guards closed
@@ -100,8 +108,19 @@ func Load(dev *nvm.Device, opts Options) (*Heap, error) {
 	if err != nil {
 		return nil, err
 	}
+	var start time.Time
+	if h.tel != nil {
+		start = time.Now()
+	}
 	if err := h.recover(); err != nil {
 		return nil, err
+	}
+	if h.tel != nil {
+		h.tel.Record(obs.OpLoad, time.Since(start))
+		st := h.Stats()
+		h.tel.Emit(obs.EventRecovery, -1, fmt.Sprintf(
+			"load complete: %d tx blocks rolled back, %d no-ops, %d sub-heaps quarantined",
+			st.RecoveredBlocks, st.RecoveredNoops, st.QuarantinedSubheaps))
 	}
 	return h, nil
 }
@@ -156,9 +175,13 @@ func assemble(dev *nvm.Device, lay layout, opts Options) (*Heap, error) {
 			return nil, err
 		}
 	}
-	h := &Heap{dev: dev, unit: unit, lay: lay, opts: opts}
+	h := &Heap{dev: dev, unit: unit, lay: lay, opts: opts, tel: opts.Telemetry}
 	h.sbThread = unit.NewThread(defaultRights(opts))
 	h.sbWin = mpk.NewWindow(dev, h.sbThread)
+	if h.tel != nil {
+		h.sbRec = nvm.NewAttrRecorder(h.tel.Attribution(), nvm.ClassRoot)
+		h.sbWin = h.sbWin.WithRecorder(h.sbRec)
+	}
 
 	h.freeLanes = make([]int, 0, lay.laneCount)
 	for i := lay.laneCount - 1; i >= 0; i-- {
@@ -294,6 +317,8 @@ func (h *Heap) retry(fn func() error) error {
 	n, err := retryTransient(fn)
 	if n > 0 && err == nil {
 		h.transientRetries.Add(uint64(n))
+		h.tel.Emit(obs.EventTransientRetry, -1,
+			fmt.Sprintf("device I/O succeeded after %d transient retries", n))
 	}
 	return err
 }
@@ -362,6 +387,12 @@ func readLayout(dev *nvm.Device) (layout, error) {
 // quarantined, leaving the rest of the heap fully usable. Only superblock
 // corruption or device-level failure aborts the load.
 func (h *Heap) recover() error {
+	var phaseStart time.Time
+	if h.tel != nil {
+		phaseStart = time.Now()
+		h.sbRec.SetClass(nvm.ClassRecovery)
+		defer h.sbRec.SetClass(nvm.ClassRoot)
+	}
 	var v uint64
 	if err := h.retry(func() error {
 		var e error
@@ -417,10 +448,20 @@ func (h *Heap) recover() error {
 			return fmt.Errorf("%w: micro lane %d: %v", ErrCorruptHeap, i, err)
 		}
 	}
+	if h.tel != nil {
+		h.tel.Record(obs.OpRecovery, time.Since(phaseStart))
+	}
 
 	if h.opts.ScrubOnLoad {
+		var scrubStart time.Time
+		if h.tel != nil {
+			scrubStart = time.Now()
+		}
 		if err := h.scrub(); err != nil {
 			return err
+		}
+		if h.tel != nil {
+			h.tel.Record(obs.OpScrub, time.Since(scrubStart))
 		}
 	}
 	return nil
@@ -443,6 +484,8 @@ func (h *Heap) scrub() error {
 		switch {
 		case err == nil && len(sub.Problems) == 0:
 		case err == nil:
+			h.tel.Emit(obs.EventScrubFinding, s.id, fmt.Sprintf(
+				"%d problems, first: %s", len(sub.Problems), sub.Problems[0]))
 			s.quarantine(fmt.Sprintf("audit failed: %s (%d problems)",
 				sub.Problems[0], len(sub.Problems)))
 		case quarantinable(err):
@@ -485,7 +528,15 @@ func (h *Heap) recoverLane(i int) error {
 			s.stats.recoveredNoops.Add(1)
 			continue
 		}
-		if err := s.free(dev); err != nil {
+		var start time.Time
+		if h.tel != nil {
+			start = time.Now()
+		}
+		err = s.freeAs(dev, nvm.ClassTxFree)
+		if h.tel != nil {
+			h.tel.RecordOn(i, obs.OpTxFree, time.Since(start))
+		}
+		if err != nil {
 			// Invalid/double frees here mean the undo log already
 			// reverted this allocation; anything else is fatal.
 			if err == ErrInvalidFree || err == ErrDoubleFree {

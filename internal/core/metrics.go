@@ -1,0 +1,109 @@
+package core
+
+import (
+	"poseidon/internal/nvm"
+	"poseidon/internal/obs"
+)
+
+// DeviceStats returns the device's flat operation counters. Enabled is
+// false (and every counter zero) when the heap was created without
+// Options.DeviceStats or Options.Telemetry.
+func (h *Heap) DeviceStats() nvm.StatsSnapshot { return h.dev.StatsSnapshot() }
+
+// Telemetry returns the registry the heap was created with, nil when the
+// heap runs without Options.Telemetry. The obs recording methods are
+// nil-safe, so callers may use the result unconditionally.
+func (h *Heap) Telemetry() *obs.Telemetry { return h.tel }
+
+// Metrics assembles the full telemetry snapshot: latency histograms,
+// per-class device attribution and the event journal from the obs registry,
+// plus the core-owned layers — lifetime counters, per-sub-heap occupancy
+// gauges and the device's flat stats. Safe for concurrent use and without
+// telemetry (the histogram/attribution/gauge sections are then empty, but
+// counters and device stats still fill in).
+func (h *Heap) Metrics() *obs.Snapshot {
+	snap := h.tel.Snapshot() // nil-safe: empty timestamped snapshot
+
+	st := h.Stats()
+	snap.Counters = map[string]uint64{
+		"allocs":               st.Allocs,
+		"tx_allocs":            st.TxAllocs,
+		"frees":                st.Frees,
+		"defrag_merges":        st.DefragMerges,
+		"invalid_frees":        st.InvalidFrees,
+		"double_frees":         st.DoubleFrees,
+		"recovered_blocks":     st.RecoveredBlocks,
+		"recovered_noops":      st.RecoveredNoops,
+		"permission_switches":  st.PermissionSwitches,
+		"quarantined_subheaps": st.QuarantinedSubheaps,
+		"quarantined_bytes":    st.QuarantinedBytes,
+		"transient_retries":    st.TransientRetries,
+	}
+
+	if h.tel != nil {
+		snap.Subheaps = h.subheapGaugeList()
+	}
+
+	ds := h.dev.StatsSnapshot()
+	snap.Device = obs.DeviceStats{
+		StatsEnabled:  ds.Enabled,
+		Writes:        ds.Writes,
+		BytesWritten:  ds.BytesWritten,
+		Flushes:       ds.Flushes,
+		Fences:        ds.Fences,
+		CapacityBytes: h.dev.Capacity(),
+		ResidentBytes: h.dev.ResidentBytes(),
+	}
+	return snap
+}
+
+// subheapGaugeList reads every sub-heap's DRAM occupancy gauges without
+// taking sub-heap locks: the gauges are atomics and a formatted sub-heap
+// always holds at least one record, so "initialized" is derivable from the
+// counts themselves. Values are instantaneous and may be mid-operation.
+func (h *Heap) subheapGaugeList() []obs.SubheapGauge {
+	out := make([]obs.SubheapGauge, 0, len(h.subheaps))
+	for _, s := range h.subheaps {
+		g := obs.SubheapGauge{ID: s.id}
+		if s.isQuarantined() {
+			g.Quarantined = true
+			g.QuarantineReason = s.qreason
+			out = append(out, g)
+			continue
+		}
+		if s.gauge == nil {
+			out = append(out, g)
+			continue
+		}
+		geo := s.mgr.Geometry()
+		g.AllocatedBlocks = clampU64(s.gauge.allocBlocks.Load())
+		g.AllocatedBytes = clampU64(s.gauge.allocBytes.Load())
+		for c := range s.gauge.freeByClass {
+			n := clampU64(s.gauge.freeByClass[c].Load())
+			if n == 0 {
+				continue
+			}
+			size := geo.ClassSize(c)
+			g.FreeBlocks += n
+			g.FreeBytes += n * size
+			if size > g.LargestFreeBytes {
+				g.LargestFreeBytes = size
+			}
+		}
+		g.Initialized = g.AllocatedBlocks+g.FreeBlocks > 0
+		if g.FreeBytes > 0 {
+			g.Fragmentation = 1 - float64(g.LargestFreeBytes)/float64(g.FreeBytes)
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// clampU64 converts a gauge delta to uint64, flooring transient negative
+// readings (a scrape can land between the two halves of a split update).
+func clampU64(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"poseidon/internal/nvm"
+	"poseidon/internal/obs"
 )
 
 // Protection selects how the heap-metadata region is guarded.
@@ -69,6 +70,12 @@ type Options struct {
 	ScrubOnLoad bool
 	// DeviceStats enables flush/fence counters on the device.
 	DeviceStats bool
+	// Telemetry, when non-nil, wires the heap into the telemetry registry:
+	// latency histograms for every operation class, per-class attribution
+	// of device persistence traffic, per-sub-heap gauges and the event
+	// journal (see internal/obs and Heap.Metrics). A nil Telemetry costs
+	// exactly one pointer check on the hot path. Implies DeviceStats.
+	Telemetry *obs.Telemetry
 }
 
 const (
@@ -111,6 +118,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MprotectCost == 0 {
 		o.MprotectCost = defaultMprotectCost
+	}
+	if o.Telemetry != nil {
+		// Per-class attribution without the flat device counters would be
+		// a confusing half-view; telemetry turns both on.
+		o.DeviceStats = true
 	}
 	return o
 }

@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"poseidon/internal/memblock"
 	"poseidon/internal/mpk"
+	"poseidon/internal/nvm"
+	"poseidon/internal/obs"
 	"poseidon/internal/plog"
 	"poseidon/internal/txn"
 )
@@ -49,6 +52,31 @@ type subheap struct {
 	qreason     string
 
 	stats subheapStats
+
+	// rec tags this sub-heap's device traffic with the operation class in
+	// flight (retagged under mu); gauge tracks live occupancy. Both are
+	// non-nil only when the heap runs with telemetry.
+	rec   *nvm.AttrRecorder
+	gauge *subheapGauges
+}
+
+// subheapGauges are DRAM-only occupancy gauges, maintained on the alloc/
+// free/merge paths and re-seeded from the persistent records when a
+// sub-heap opens. Telemetry-only: without Options.Telemetry no gauge atomics
+// are touched.
+type subheapGauges struct {
+	allocBlocks atomic.Int64
+	allocBytes  atomic.Int64
+	freeByClass []atomic.Int64 // free-block count per size class
+}
+
+// reset zeroes every gauge (before a record-walk reseed).
+func (g *subheapGauges) reset() {
+	g.allocBlocks.Store(0)
+	g.allocBytes.Store(0)
+	for i := range g.freeByClass {
+		g.freeByClass[i].Store(0)
+	}
 }
 
 // quarantine takes the sub-heap out of service. Idempotent; the first
@@ -59,6 +87,7 @@ func (s *subheap) quarantine(reason string) {
 	}
 	s.qreason = reason
 	s.quarantined.Store(true)
+	s.h.tel.Emit(obs.EventQuarantine, s.id, reason)
 }
 
 func (s *subheap) isQuarantined() bool { return s.quarantined.Load() }
@@ -82,8 +111,22 @@ func newSubheap(h *Heap, id int) (*subheap, error) {
 		thread: h.unit.NewThread(defaultRights(h.opts)),
 	}
 	s.win = mpk.NewWindow(h.dev, s.thread)
+	if h.tel != nil {
+		s.rec = nvm.NewAttrRecorder(h.tel.Attribution(), nvm.ClassOther)
+		s.win = s.win.WithRecorder(s.rec)
+		s.gauge = &subheapGauges{freeByClass: make([]atomic.Int64, g.NumClasses)}
+	}
 	s.mgr = memblock.NewManager(s.win, g)
 	return s, nil
+}
+
+// setClass retags this sub-heap's device-traffic attribution. Callers hold
+// mu (or run single-threaded), which is the recorder's required
+// serialization.
+func (s *subheap) setClass(c nvm.OpClass) {
+	if s.rec != nil {
+		s.rec.SetClass(c)
+	}
 }
 
 // initializedFlag reads the persistent formatted marker.
@@ -107,7 +150,12 @@ func (s *subheap) recoverLogs() error {
 	}
 	s.h.grant(s.thread)
 	defer s.h.revoke(s.thread)
-	return s.open(true)
+	s.setClass(nvm.ClassRecovery)
+	if err := s.open(true); err != nil {
+		return err
+	}
+	s.seedGauges()
+	return nil
 }
 
 // open attaches logs and the batch; with replay it also runs undo recovery.
@@ -141,15 +189,40 @@ func (s *subheap) ensureReady() error {
 	if init {
 		// Raw-attached heaps (fsck -raw) must see the image untouched:
 		// open without replaying the undo log.
-		return s.open(!s.h.rawAttach)
+		if err := s.open(!s.h.rawAttach); err != nil {
+			return err
+		}
+		s.seedGauges()
+		return nil
 	}
 	return s.format()
+}
+
+// seedGauges rebuilds the DRAM occupancy gauges from the persistent records.
+// Caller holds mu with metadata rights. No-op without telemetry; errors are
+// swallowed — gauges are best-effort observability, not correctness state.
+func (s *subheap) seedGauges() {
+	if s.gauge == nil {
+		return
+	}
+	g := s.mgr.Geometry()
+	s.gauge.reset()
+	_ = s.mgr.ForEachRecord(s.win, func(rec memblock.Record) error {
+		if rec.Status == memblock.StatusAllocated {
+			s.gauge.allocBlocks.Add(1)
+			s.gauge.allocBytes.Add(int64(rec.Size))
+		} else if c, cerr := g.ClassOf(rec.Size); cerr == nil {
+			s.gauge.freeByClass[c].Add(1)
+		}
+		return nil
+	})
 }
 
 // format creates the persistent structures of a fresh (or half-created)
 // sub-heap. The initialized flag is the commit point: a crash mid-format
 // reformats from scratch on the next use.
 func (s *subheap) format() error {
+	s.setClass(nvm.ClassFormat)
 	g := s.mgr.Geometry()
 	// Zero everything format will touch: header page, undo log region, and
 	// the memblock header + free lists + level 0 (higher levels are only
@@ -181,7 +254,11 @@ func (s *subheap) format() error {
 		return err
 	}
 	// Commit point.
-	return s.win.PersistU64(s.base+shInitializedOff, 1)
+	if err := s.win.PersistU64(s.base+shInitializedOff, 1); err != nil {
+		return err
+	}
+	s.seedGauges()
+	return nil
 }
 
 // alloc carves a block of at least size bytes out of this sub-heap and
@@ -200,6 +277,12 @@ func (s *subheap) alloc(size uint64, lane *plog.MicroLog) (uint64, error) {
 	}()
 	if err := s.ensureReady(); err != nil {
 		return 0, err
+	}
+	// Tag after ensureReady so lazy formatting stays charged to ClassFormat.
+	if lane != nil {
+		s.setClass(nvm.ClassTxAlloc)
+	} else {
+		s.setClass(nvm.ClassAlloc)
 	}
 	g := s.mgr.Geometry()
 	class, err := g.ClassOf(size)
@@ -287,6 +370,7 @@ func (s *subheap) tryAlloc(class int, lane *plog.MicroLog) (blockOff uint64, err
 	if slot == 0 {
 		return 0, errNoFreeBlock
 	}
+	found := c
 	rec, err := s.mgr.ReadRecord(b, slot)
 	if err != nil {
 		return 0, err
@@ -340,6 +424,16 @@ func (s *subheap) tryAlloc(class int, lane *plog.MicroLog) (blockOff uint64, err
 		return 0, cerr
 	}
 	committed = true
+	if s.gauge != nil {
+		s.gauge.allocBlocks.Add(1)
+		s.gauge.allocBytes.Add(int64(g.ClassSize(class)))
+		s.gauge.freeByClass[found].Add(-1)
+		// Splitting left one free buddy at every class between the request
+		// and the block we carved.
+		for cc := class; cc < found; cc++ {
+			s.gauge.freeByClass[cc].Add(1)
+		}
+	}
 	return blockOff, nil
 }
 
@@ -347,6 +441,13 @@ func (s *subheap) tryAlloc(class int, lane *plog.MicroLog) (blockOff uint64, err
 // (paper §5.5). Invalid and double frees are detected via the hash table
 // and rejected.
 func (s *subheap) free(blockOff uint64) error {
+	return s.freeAs(blockOff, nvm.ClassFree)
+}
+
+// freeAs is free with an explicit attribution class: recovery rollback of
+// uncommitted transactional allocations charges ClassTxFree instead of
+// ClassFree so the two show up separately in the amplification table.
+func (s *subheap) freeAs(blockOff uint64, cls nvm.OpClass) error {
 	if s.isQuarantined() {
 		return fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.qreason)
 	}
@@ -359,6 +460,7 @@ func (s *subheap) free(blockOff uint64) error {
 	if err := s.ensureReady(); err != nil {
 		return err
 	}
+	s.setClass(cls)
 	slot, err := s.mgr.Lookup(s.win, blockOff)
 	if errors.Is(err, memblock.ErrNotFound) {
 		s.stats.invalidFrees.Add(1)
@@ -394,6 +496,11 @@ func (s *subheap) free(blockOff uint64) error {
 		return err
 	}
 	s.stats.frees.Add(1)
+	if s.gauge != nil {
+		s.gauge.allocBlocks.Add(-1)
+		s.gauge.allocBytes.Add(-int64(rec.Size))
+		s.gauge.freeByClass[class].Add(1)
+	}
 	return nil
 }
 
@@ -466,12 +573,17 @@ func (s *subheap) mergeBuddy(slot uint64) (bool, error) {
 		return false, err
 	}
 	s.stats.defragMerges.Add(1)
+	if s.gauge != nil {
+		s.gauge.freeByClass[class].Add(-2)
+		s.gauge.freeByClass[class+1].Add(1)
+	}
 	return true, nil
 }
 
 // defragFreeLists merges smaller free blocks upward until a block of at
 // least class target exists or no merge makes progress (§5.4 case 1).
 func (s *subheap) defragFreeLists(target int) (bool, error) {
+	defer s.timeDefrag()()
 	g := s.mgr.Geometry()
 	satisfied := func() (bool, error) {
 		for c := target; c < g.NumClasses; c++ {
@@ -511,9 +623,26 @@ func (s *subheap) defragFreeLists(target int) (bool, error) {
 	return ok && anyMerge || ok, nil
 }
 
+// timeDefrag retags device traffic as ClassDefrag and returns a closure
+// that restores the previous class and records the pass in the defrag
+// latency histogram. A no-op (returning a no-op) without telemetry.
+func (s *subheap) timeDefrag() func() {
+	if s.h.tel == nil {
+		return func() {}
+	}
+	start := time.Now()
+	prev := s.rec.Class()
+	s.rec.SetClass(nvm.ClassDefrag)
+	return func() {
+		s.rec.SetClass(prev)
+		s.h.tel.RecordOn(s.id, obs.OpDefrag, time.Since(start))
+	}
+}
+
 // defragProbeWindow merges free blocks recorded in the probe window of key
 // to open a hash slot there (§5.4 case 2).
 func (s *subheap) defragProbeWindow(key uint64) (bool, error) {
+	defer s.timeDefrag()()
 	slots, err := s.mgr.ProbeWindowSlots(s.win, key)
 	if err != nil {
 		return false, err

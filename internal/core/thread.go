@@ -2,8 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"poseidon/internal/mpk"
+	"poseidon/internal/nvm"
+	"poseidon/internal/obs"
 	"poseidon/internal/plog"
 )
 
@@ -22,6 +25,12 @@ type Thread struct {
 
 	pkru *mpk.Thread // the application thread: metadata read-only
 	win  mpk.Window
+
+	// rec attributes this thread's device traffic (user-data stores, and
+	// micro-log writes retagged during TxAlloc). Non-nil only with
+	// telemetry; a Thread is single-goroutine by contract, so plain
+	// retagging is race-free.
+	rec *nvm.AttrRecorder
 
 	closed bool
 }
@@ -53,6 +62,11 @@ func (h *Heap) ThreadOn(shard int) (*Thread, error) {
 
 	pkru := h.unit.NewThread(defaultRights(h.opts))
 	win := mpk.NewWindow(h.dev, pkru)
+	var rec *nvm.AttrRecorder
+	if h.tel != nil {
+		rec = nvm.NewAttrRecorder(h.tel.Attribution(), nvm.ClassUser)
+		win = win.WithRecorder(rec)
+	}
 
 	// The lane is written under the heap's protection discipline: TxAlloc
 	// grants this thread metadata write access around micro-log operations.
@@ -60,7 +74,7 @@ func (h *Heap) ThreadOn(shard int) (*Thread, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Thread{h: h, shard: shard, lane: lane, laneI: laneI, pkru: pkru, win: win}, nil
+	return &Thread{h: h, shard: shard, lane: lane, laneI: laneI, pkru: pkru, win: win, rec: rec}, nil
 }
 
 // Close releases the thread's micro-log lane. An open (uncommitted)
@@ -101,6 +115,16 @@ func (t *Thread) allocShard() (int, error) {
 // Alloc carves a block of at least size bytes from the thread's sub-heap —
 // poseidon_alloc (§4.6, §5.2).
 func (t *Thread) Alloc(size uint64) (NVMPtr, error) {
+	if t.h.tel == nil {
+		return t.alloc(size)
+	}
+	start := time.Now()
+	p, err := t.alloc(size)
+	t.h.tel.RecordOn(t.laneI, obs.OpAlloc, time.Since(start))
+	return p, err
+}
+
+func (t *Thread) alloc(size uint64) (NVMPtr, error) {
 	if err := t.check(); err != nil {
 		return NVMPtr{}, err
 	}
@@ -121,8 +145,24 @@ func (t *Thread) Alloc(size uint64) (NVMPtr, error) {
 // isEnd commits the transaction by truncating the log. If the process
 // crashes before the commit, recovery frees every logged allocation.
 func (t *Thread) TxAlloc(size uint64, isEnd bool) (NVMPtr, error) {
+	if t.h.tel == nil {
+		return t.txAlloc(size, isEnd)
+	}
+	start := time.Now()
+	p, err := t.txAlloc(size, isEnd)
+	t.h.tel.RecordOn(t.laneI, obs.OpTxAlloc, time.Since(start))
+	return p, err
+}
+
+func (t *Thread) txAlloc(size uint64, isEnd bool) (NVMPtr, error) {
 	if err := t.check(); err != nil {
 		return NVMPtr{}, err
+	}
+	// Micro-log lane writes through this thread's window are part of the
+	// transactional allocation, not user traffic.
+	if t.rec != nil {
+		t.rec.SetClass(nvm.ClassTxAlloc)
+		defer t.rec.SetClass(nvm.ClassUser)
 	}
 	shard, err := t.allocShard()
 	if err != nil {
@@ -155,6 +195,10 @@ func (t *Thread) TxAbandon() error {
 	if err := t.check(); err != nil {
 		return err
 	}
+	if t.rec != nil {
+		t.rec.SetClass(nvm.ClassTxAlloc)
+		defer t.rec.SetClass(nvm.ClassUser)
+	}
 	t.h.grant(t.pkru)
 	defer t.h.revoke(t.pkru)
 	return t.lane.Truncate()
@@ -165,6 +209,16 @@ func (t *Thread) TxAbandon() error {
 // paper (§5.7). Invalid and double frees return an error and leave the
 // heap untouched.
 func (t *Thread) Free(p NVMPtr) error {
+	if t.h.tel == nil {
+		return t.free(p)
+	}
+	start := time.Now()
+	err := t.free(p)
+	t.h.tel.RecordOn(t.laneI, obs.OpFree, time.Since(start))
+	return err
+}
+
+func (t *Thread) free(p NVMPtr) error {
 	if err := t.check(); err != nil {
 		return err
 	}

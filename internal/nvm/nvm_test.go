@@ -366,6 +366,9 @@ func TestStatsCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := d.StatsSnapshot()
+	if !s.Enabled {
+		t.Fatal("snapshot of a stats-enabled device must report Enabled")
+	}
 	if s.Writes != 1 || s.BytesWritten != 130 {
 		t.Fatalf("writes=%d bytes=%d", s.Writes, s.BytesWritten)
 	}

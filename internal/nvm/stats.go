@@ -11,21 +11,26 @@ type Stats struct {
 	Fences       atomic.Uint64 // ordering barriers (sfence count)
 }
 
-// StatsSnapshot is a copyable view of Stats.
+// StatsSnapshot is a copyable view of Stats. Enabled distinguishes "no
+// traffic yet" from "counters were never collected": a snapshot from a
+// device created without Options.Stats is all-zero, which silently reads as
+// an idle device to callers that forgot to enable stats.
 type StatsSnapshot struct {
+	Enabled      bool
 	Writes       uint64
 	BytesWritten uint64
 	Flushes      uint64
 	Fences       uint64
 }
 
-// StatsSnapshot returns the current counters, or a zero snapshot when stats
-// are disabled.
+// StatsSnapshot returns the current counters. When stats are disabled the
+// snapshot is zero with Enabled false.
 func (d *Device) StatsSnapshot() StatsSnapshot {
 	if d.stats == nil {
 		return StatsSnapshot{}
 	}
 	return StatsSnapshot{
+		Enabled:      true,
 		Writes:       d.stats.Writes.Load(),
 		BytesWritten: d.stats.BytesWritten.Load(),
 		Flushes:      d.stats.Flushes.Load(),

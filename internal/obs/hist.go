@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the bucket count of a latency histogram: bucket i covers
+// [2^i, 2^(i+1)) nanoseconds (bucket 0 also absorbs 0), so the full range
+// spans 1 ns to ~584 years — log-bucketed, constant memory, and bucket
+// placement is a single bits.Len64.
+const NumBuckets = 64
+
+// histShard is one lane's slice of a histogram. The trailing pad keeps
+// adjacent shards on different cachelines so concurrent recorders do not
+// false-share.
+type histShard struct {
+	counts [NumBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // nanoseconds
+	max    atomic.Uint64 // nanoseconds
+	_      [48]byte
+}
+
+// Histogram is a lock-free sharded log-bucketed latency histogram. Each
+// recording lane (allocator thread, sub-heap, recovery) writes its own
+// shard; readers merge all shards into a snapshot. Recording is a handful
+// of uncontended atomic adds.
+type Histogram struct {
+	shards []histShard
+	mask   uint64
+}
+
+// newHistogram sizes the histogram to the next power of two ≥ shards.
+func newHistogram(shards int) *Histogram {
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	return &Histogram{shards: make([]histShard, n), mask: uint64(n - 1)}
+}
+
+// bucketOf places a nanosecond value: bits.Len64 is floor(log2)+1.
+func bucketOf(ns uint64) int {
+	if ns == 0 {
+		return 0
+	}
+	return bits.Len64(ns) - 1
+}
+
+// BucketLower returns the inclusive lower bound of bucket i in nanoseconds.
+func BucketLower(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << uint(i)
+}
+
+// Record adds one nanosecond observation on the given shard (any int; it is
+// masked). Safe for concurrent use, including on the same shard.
+func (h *Histogram) Record(shard int, ns uint64) {
+	s := &h.shards[uint64(shard)&h.mask]
+	s.counts[bucketOf(ns)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(ns)
+	for {
+		cur := s.max.Load()
+		if ns <= cur || s.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is the merged view of a histogram.
+type HistSnapshot struct {
+	Counts [NumBuckets]uint64
+	Count  uint64
+	Sum    uint64 // nanoseconds
+	Max    uint64 // nanoseconds
+}
+
+// Snapshot merges all shards. Concurrent recording may tear slightly across
+// buckets (each counter is individually consistent), which is the usual
+// monitoring contract.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var out HistSnapshot
+	for i := range h.shards {
+		s := &h.shards[i]
+		for b := range s.counts {
+			out.Counts[b] += s.counts[b].Load()
+		}
+		out.Count += s.count.Load()
+		out.Sum += s.sum.Load()
+		if m := s.max.Load(); m > out.Max {
+			out.Max = m
+		}
+	}
+	return out
+}
+
+// Quantile returns the q-th (0..1) latency quantile in nanoseconds,
+// linearly interpolated inside the containing bucket. Zero when empty.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based.
+	rank := uint64(q*float64(s.Count-1)) + 1
+	var seen uint64
+	for b, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			lo := BucketLower(b)
+			width := lo // bucket b spans [2^b, 2^(b+1)): width == lower bound
+			if b == 0 {
+				lo, width = 0, 2
+			}
+			frac := float64(rank-seen-1) / float64(c)
+			v := lo + uint64(frac*float64(width))
+			if v > s.Max && s.Max > 0 {
+				v = s.Max
+			}
+			return v
+		}
+		seen += c
+	}
+	return s.Max
+}
+
+// Mean returns the average observation in nanoseconds, zero when empty.
+func (s HistSnapshot) Mean() uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1023, 9}, {1024, 10}, {1025, 10},
+		{1 << 20, 20}, {1<<20 - 1, 19},
+		{^uint64(0), 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	if BucketLower(0) != 0 {
+		t.Errorf("BucketLower(0) = %d, want 0", BucketLower(0))
+	}
+	for i := 1; i < NumBuckets; i++ {
+		lo := BucketLower(i)
+		if lo != 1<<uint(i) {
+			t.Fatalf("BucketLower(%d) = %d, want %d", i, lo, uint64(1)<<uint(i))
+		}
+		// Every bucket's lower bound must map back into that bucket, and
+		// the value just below it into the previous one.
+		if bucketOf(lo) != i {
+			t.Fatalf("bucketOf(BucketLower(%d)) = %d", i, bucketOf(lo))
+		}
+		if bucketOf(lo-1) != i-1 {
+			t.Fatalf("bucketOf(BucketLower(%d)-1) = %d, want %d", i, bucketOf(lo-1), i-1)
+		}
+	}
+}
+
+// TestHistogramConcurrentMatchesSerial records the same observation set
+// concurrently (spread over shards and goroutines) and serially (one shard)
+// and requires identical merged snapshots — the lock-free sharding must
+// lose nothing. Run under -race this is also the data-race proof.
+func TestHistogramConcurrentMatchesSerial(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	values := make([][]uint64, goroutines)
+	rng := rand.New(rand.NewSource(7))
+	for g := range values {
+		values[g] = make([]uint64, perG)
+		for i := range values[g] {
+			values[g][i] = uint64(rng.Int63n(1 << 22))
+		}
+	}
+
+	conc := newHistogram(4) // fewer shards than goroutines: forced sharing
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, v := range values[g] {
+				conc.Record(g, v)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	serial := newHistogram(1)
+	for g := range values {
+		for _, v := range values[g] {
+			serial.Record(0, v)
+		}
+	}
+
+	cs, ss := conc.Snapshot(), serial.Snapshot()
+	if cs != ss {
+		t.Fatalf("concurrent snapshot diverges from serial reference:\n conc=%+v\n serial=%+v", cs, ss)
+	}
+	if cs.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", cs.Count, goroutines*perG)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := newHistogram(1)
+	if q := (HistSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+	for i := 0; i < 100; i++ {
+		h.Record(0, 1000) // bucket 9: [512, 1024)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < 512 || v > 1000 {
+			t.Fatalf("quantile(%g) = %d, want within [512, 1000]", q, v)
+		}
+	}
+	if s.Max != 1000 {
+		t.Fatalf("max = %d, want 1000", s.Max)
+	}
+	if s.Mean() != 1000 {
+		t.Fatalf("mean = %d, want 1000", s.Mean())
+	}
+
+	// A spread distribution must have monotone quantiles bounded by max.
+	h2 := newHistogram(2)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		h2.Record(i, uint64(rng.Int63n(1<<30)))
+	}
+	s2 := h2.Snapshot()
+	p50, p95, p99 := s2.Quantile(0.5), s2.Quantile(0.95), s2.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99 && p99 <= s2.Max) {
+		t.Fatalf("quantiles not monotone: p50=%d p95=%d p99=%d max=%d", p50, p95, p99, s2.Max)
+	}
+	if p50 == 0 {
+		t.Fatal("p50 = 0 for a wide distribution")
+	}
+}
+
+func TestTelemetryNilSafe(t *testing.T) {
+	var tel *Telemetry
+	tel.Record(OpAlloc, 5)
+	tel.RecordOn(3, OpFree, 5)
+	tel.Emit(EventCrash, -1, "x")
+	if ev := tel.Events(); ev != nil {
+		t.Fatalf("nil telemetry Events = %v", ev)
+	}
+	if hs := tel.Hist(OpAlloc); hs.Count != 0 {
+		t.Fatalf("nil telemetry Hist count = %d", hs.Count)
+	}
+	if a := tel.Attribution(); a != nil {
+		t.Fatalf("nil telemetry Attribution = %v", a)
+	}
+	s := tel.Snapshot()
+	if s == nil || len(s.Ops) != 0 {
+		t.Fatalf("nil telemetry Snapshot = %+v", s)
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux builds the metrics endpoint served by the -metrics flag of the
+// poseidon tools:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  the full Snapshot as JSON
+//	/vars          expvar (Go runtime memstats, cmdline)
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// snap is called once per scrape; it must be safe for concurrent use.
+func NewMux(snap func() *Snapshot) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, snap())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap())
+	})
+	mux.Handle("/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "poseidon telemetry: /metrics /metrics.json /vars /debug/pprof/")
+	})
+	return mux
+}
+
+// Server is a running metrics endpoint.
+type Server struct {
+	Addr string // actual listen address (resolves :0)
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Serve starts the metrics endpoint on addr (e.g. ":9120", "127.0.0.1:0")
+// in a background goroutine and returns once the listener is bound, so the
+// caller can print the resolved address before starting work.
+func Serve(addr string, snap func() *Snapshot) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(snap), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close stops the endpoint.
+func (s *Server) Close() error { return s.srv.Close() }

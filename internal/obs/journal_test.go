@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestJournalOrderAndWrap(t *testing.T) {
+	j := newJournal(4)
+	for i := 0; i < 3; i++ {
+		j.Emit(EventCrash, -1, fmt.Sprintf("e%d", i))
+	}
+	ev := j.Events()
+	if len(ev) != 3 {
+		t.Fatalf("retained %d events, want 3", len(ev))
+	}
+	for i, e := range ev {
+		if e.Seq != uint64(i) || e.Detail != fmt.Sprintf("e%d", i) {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+		if e.KindStr != "crash" {
+			t.Fatalf("event %d kind = %q", i, e.KindStr)
+		}
+		if e.At.IsZero() {
+			t.Fatalf("event %d has no timestamp", i)
+		}
+	}
+
+	// Wrap: 10 total emissions into a 4-slot ring keeps the last 4.
+	for i := 3; i < 10; i++ {
+		j.Emit(EventRecovery, i, fmt.Sprintf("e%d", i))
+	}
+	ev = j.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events after wrap, want 4", len(ev))
+	}
+	for i, e := range ev {
+		want := uint64(6 + i)
+		if e.Seq != want || e.Detail != fmt.Sprintf("e%d", want) {
+			t.Fatalf("post-wrap event %d = %+v, want seq %d", i, e, want)
+		}
+	}
+	if got := j.Emitted(); got != 10 {
+		t.Fatalf("emitted = %d, want 10", got)
+	}
+	if got := j.Overwritten(); got != 6 {
+		t.Fatalf("overwritten = %d, want 6", got)
+	}
+	if got := j.KindCount(EventCrash); got != 3 {
+		t.Fatalf("crash kind count = %d, want 3", got)
+	}
+	if got := j.KindCount(EventRecovery); got != 7 {
+		t.Fatalf("recovery kind count = %d, want 7", got)
+	}
+}
+
+func TestJournalDrain(t *testing.T) {
+	j := newJournal(4)
+	for i := 0; i < 6; i++ {
+		j.Emit(EventQuarantine, i, "q")
+	}
+	got := j.Drain()
+	if len(got) != 4 || got[0].Seq != 2 || got[3].Seq != 5 {
+		t.Fatalf("drain = %+v", got)
+	}
+	if left := j.Events(); len(left) != 0 {
+		t.Fatalf("events after drain = %+v", left)
+	}
+	// Sequence numbers and totals survive the drain.
+	j.Emit(EventQuarantine, 9, "after")
+	ev := j.Events()
+	if len(ev) != 1 || ev[0].Seq != 6 {
+		t.Fatalf("post-drain emit = %+v", ev)
+	}
+	if j.Emitted() != 7 {
+		t.Fatalf("emitted = %d, want 7", j.Emitted())
+	}
+	if j.KindCount(EventQuarantine) != 7 {
+		t.Fatalf("kind count = %d, want 7", j.KindCount(EventQuarantine))
+	}
+}
+
+func TestTelemetryJournalOptions(t *testing.T) {
+	tel := NewWithOptions(Options{Shards: 1, JournalSize: 2})
+	tel.Emit(EventScrubFinding, 0, "a")
+	tel.Emit(EventScrubFinding, 1, "b")
+	tel.Emit(EventScrubFinding, 2, "c")
+	ev := tel.Events()
+	if len(ev) != 2 || ev[0].Detail != "b" || ev[1].Detail != "c" {
+		t.Fatalf("events = %+v", ev)
+	}
+	if d := tel.DrainEvents(); len(d) != 2 {
+		t.Fatalf("drain = %+v", d)
+	}
+	if len(tel.Events()) != 0 {
+		t.Fatal("journal not empty after drain")
+	}
+}

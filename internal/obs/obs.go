@@ -1,0 +1,145 @@
+// Package obs is Poseidon's telemetry subsystem: sharded lock-free latency
+// histograms for every allocator operation class, per-class attribution of
+// device persistence traffic (writes/flushes/fences — the paper's Fig 7
+// analysis as a live metric), a fixed-size journal of rare structured
+// events, and exposition as a Prometheus text endpoint or a JSON snapshot.
+//
+// A heap created without Options.Telemetry pays only a nil pointer check on
+// the hot path; all recording methods are safe on a nil *Telemetry.
+package obs
+
+import (
+	"runtime"
+	"time"
+
+	"poseidon/internal/nvm"
+)
+
+// Op is an instrumented operation class.
+type Op uint8
+
+// Operation classes with latency histograms. The first five are hot-path
+// allocator operations; the last three are load-time phases.
+const (
+	OpAlloc Op = iota
+	OpFree
+	OpTxAlloc
+	OpTxFree // recovery rollback free of an uncommitted tx allocation
+	OpDefrag
+	OpRecovery // log replay + lane rollback during Load
+	OpLoad     // whole Load call
+	OpScrub    // ScrubOnLoad audit
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	"alloc", "free", "txalloc", "txfree", "defrag", "recovery", "load", "scrub",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "invalid"
+}
+
+// attrClassOf maps an op to the device-attribution class whose traffic it
+// explains, for per-op amplification ratios. OpLoad maps to no class
+// (NumClasses sentinel): its window is the union of recovery and scrub, and
+// counting it would double-charge those classes' ratios.
+var attrClassOf = [NumOps]nvm.OpClass{
+	nvm.ClassAlloc, nvm.ClassFree, nvm.ClassTxAlloc, nvm.ClassTxFree,
+	nvm.ClassDefrag, nvm.ClassRecovery, nvm.NumClasses, nvm.ClassScrub,
+}
+
+// Options configures a Telemetry instance.
+type Options struct {
+	// Shards is the number of histogram lanes. Defaults to GOMAXPROCS
+	// rounded up to a power of two. Callers pass any shard hint; it is
+	// masked.
+	Shards int
+	// JournalSize is the event ring capacity. Default 256.
+	JournalSize int
+}
+
+// Telemetry is the per-heap (or per-process) telemetry registry.
+type Telemetry struct {
+	hists   [NumOps]*Histogram
+	journal *Journal
+	attr    *nvm.Attribution
+}
+
+// New creates a telemetry registry with default options.
+func New() *Telemetry { return NewWithOptions(Options{}) }
+
+// NewWithOptions creates a telemetry registry.
+func NewWithOptions(o Options) *Telemetry {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	t := &Telemetry{
+		journal: newJournal(o.JournalSize),
+		attr:    nvm.NewAttribution(),
+	}
+	for i := range t.hists {
+		t.hists[i] = newHistogram(o.Shards)
+	}
+	return t
+}
+
+// Attribution returns the device-traffic attribution table windows charge
+// into. Never nil on a non-nil Telemetry.
+func (t *Telemetry) Attribution() *nvm.Attribution {
+	if t == nil {
+		return nil
+	}
+	return t.attr
+}
+
+// Record adds one observation for op on shard 0. Nil-safe.
+func (t *Telemetry) Record(op Op, d time.Duration) { t.RecordOn(0, op, d) }
+
+// RecordOn adds one observation for op on the given shard hint. Nil-safe.
+func (t *Telemetry) RecordOn(shard int, op Op, d time.Duration) {
+	if t == nil || op >= NumOps {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.hists[op].Record(shard, uint64(d))
+}
+
+// Emit appends a journal event. Nil-safe. subheap is -1 when the event is
+// not sub-heap scoped.
+func (t *Telemetry) Emit(kind EventKind, subheap int, detail string) {
+	if t == nil {
+		return
+	}
+	t.journal.Emit(kind, subheap, detail)
+}
+
+// Events returns the retained journal events without clearing them.
+// Nil-safe (returns nil).
+func (t *Telemetry) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.journal.Events()
+}
+
+// DrainEvents returns and clears the retained journal events. Nil-safe.
+func (t *Telemetry) DrainEvents() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.journal.Drain()
+}
+
+// Hist returns op's merged histogram. Nil-safe (zero snapshot).
+func (t *Telemetry) Hist(op Op) HistSnapshot {
+	if t == nil || op >= NumOps {
+		return HistSnapshot{}
+	}
+	return t.hists[op].Snapshot()
+}

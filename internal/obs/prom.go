@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Output order is deterministic so it can be pinned
+// by golden tests and diffed between scrapes.
+func WritePrometheus(w io.Writer, s *Snapshot) error {
+	b := &promBuf{w: w}
+
+	b.header("poseidon_op_duration_seconds",
+		"summary", "Latency of allocator operations by class.")
+	for _, op := range s.Ops {
+		for _, q := range []struct {
+			label string
+			ns    uint64
+		}{{"0.5", op.P50NS}, {"0.95", op.P95NS}, {"0.99", op.P99NS}} {
+			b.line(`poseidon_op_duration_seconds{op=%q,quantile=%q} %s`,
+				op.Op, q.label, seconds(q.ns))
+		}
+		b.line(`poseidon_op_duration_seconds_sum{op=%q} %s`, op.Op, seconds(op.TotalNS))
+		b.line(`poseidon_op_duration_seconds_count{op=%q} %d`, op.Op, op.Count)
+	}
+
+	b.header("poseidon_op_duration_max_seconds",
+		"gauge", "Maximum observed latency by operation class.")
+	for _, op := range s.Ops {
+		b.line(`poseidon_op_duration_max_seconds{op=%q} %s`, op.Op, seconds(op.MaxNS))
+	}
+
+	b.header("poseidon_device_class_writes_total",
+		"counter", "Device writes attributed to the issuing operation class.")
+	for _, c := range s.Attribution {
+		b.line(`poseidon_device_class_writes_total{class=%q} %d`, c.Class, c.Writes)
+	}
+	b.header("poseidon_device_class_bytes_written_total",
+		"counter", "Bytes written, attributed to the issuing operation class.")
+	for _, c := range s.Attribution {
+		b.line(`poseidon_device_class_bytes_written_total{class=%q} %d`, c.Class, c.BytesWritten)
+	}
+	b.header("poseidon_device_class_flushes_total",
+		"counter", "Cachelines flushed (clwb), attributed to the issuing operation class.")
+	for _, c := range s.Attribution {
+		b.line(`poseidon_device_class_flushes_total{class=%q} %d`, c.Class, c.Flushes)
+	}
+	b.header("poseidon_device_class_fences_total",
+		"counter", "Ordering barriers (sfence), attributed to the issuing operation class.")
+	for _, c := range s.Attribution {
+		b.line(`poseidon_device_class_fences_total{class=%q} %d`, c.Class, c.Fences)
+	}
+
+	b.header("poseidon_class_flushes_per_op",
+		"gauge", "Flush amplification: cachelines flushed per operation of the class.")
+	for _, c := range s.Attribution {
+		if c.Ops == 0 {
+			continue
+		}
+		b.line(`poseidon_class_flushes_per_op{class=%q} %s`, c.Class, f64(c.FlushesPerOp))
+	}
+	b.header("poseidon_class_fences_per_op",
+		"gauge", "Fence amplification: barriers per operation of the class.")
+	for _, c := range s.Attribution {
+		if c.Ops == 0 {
+			continue
+		}
+		b.line(`poseidon_class_fences_per_op{class=%q} %s`, c.Class, f64(c.FencesPerOp))
+	}
+	b.header("poseidon_class_bytes_per_op",
+		"gauge", "Write amplification: device bytes written per operation of the class.")
+	for _, c := range s.Attribution {
+		if c.Ops == 0 {
+			continue
+		}
+		b.line(`poseidon_class_bytes_per_op{class=%q} %s`, c.Class, f64(c.BytesPerOp))
+	}
+
+	if len(s.Counters) > 0 {
+		b.header("poseidon_heap_counter_total",
+			"counter", "Lifetime allocator counters by name.")
+		names := make([]string, 0, len(s.Counters))
+		for name := range s.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			b.line(`poseidon_heap_counter_total{name=%q} %d`, name, s.Counters[name])
+		}
+	}
+
+	if len(s.Subheaps) > 0 {
+		b.header("poseidon_subheap_free_bytes", "gauge", "Free user bytes per sub-heap.")
+		for _, g := range s.Subheaps {
+			b.line(`poseidon_subheap_free_bytes{subheap="%d"} %d`, g.ID, g.FreeBytes)
+		}
+		b.header("poseidon_subheap_allocated_bytes", "gauge", "Allocated user bytes per sub-heap.")
+		for _, g := range s.Subheaps {
+			b.line(`poseidon_subheap_allocated_bytes{subheap="%d"} %d`, g.ID, g.AllocatedBytes)
+		}
+		b.header("poseidon_subheap_allocated_blocks", "gauge", "Allocated block count per sub-heap.")
+		for _, g := range s.Subheaps {
+			b.line(`poseidon_subheap_allocated_blocks{subheap="%d"} %d`, g.ID, g.AllocatedBlocks)
+		}
+		b.header("poseidon_subheap_fragmentation", "gauge",
+			"1 - largest-free-block/free-bytes per sub-heap (0 = unfragmented).")
+		for _, g := range s.Subheaps {
+			b.line(`poseidon_subheap_fragmentation{subheap="%d"} %s`, g.ID, f64(g.Fragmentation))
+		}
+		b.header("poseidon_subheap_quarantined", "gauge",
+			"1 when the sub-heap is out of service (degrade-don't-die).")
+		for _, g := range s.Subheaps {
+			q := 0
+			if g.Quarantined {
+				q = 1
+			}
+			b.line(`poseidon_subheap_quarantined{subheap="%d"} %d`, g.ID, q)
+		}
+	}
+
+	b.header("poseidon_device_stats_enabled", "gauge",
+		"1 when flat device counters are collected.")
+	b.line(`poseidon_device_stats_enabled %d`, boolInt(s.Device.StatsEnabled))
+	if s.Device.StatsEnabled {
+		b.header("poseidon_device_writes_total", "counter", "Device writes (all classes).")
+		b.line(`poseidon_device_writes_total %d`, s.Device.Writes)
+		b.header("poseidon_device_bytes_written_total", "counter", "Device bytes written.")
+		b.line(`poseidon_device_bytes_written_total %d`, s.Device.BytesWritten)
+		b.header("poseidon_device_flushes_total", "counter", "Cachelines flushed (clwb).")
+		b.line(`poseidon_device_flushes_total %d`, s.Device.Flushes)
+		b.header("poseidon_device_fences_total", "counter", "Ordering barriers (sfence).")
+		b.line(`poseidon_device_fences_total %d`, s.Device.Fences)
+	}
+	if s.Device.CapacityBytes > 0 {
+		b.header("poseidon_device_capacity_bytes", "gauge", "Device capacity.")
+		b.line(`poseidon_device_capacity_bytes %d`, s.Device.CapacityBytes)
+		b.header("poseidon_device_resident_bytes", "gauge", "Materialised backing memory.")
+		b.line(`poseidon_device_resident_bytes %d`, s.Device.ResidentBytes)
+	}
+
+	b.header("poseidon_events_total", "counter", "Journal events emitted, by kind.")
+	kinds := make([]string, 0, len(s.Events.ByKind))
+	for k := range s.Events.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		b.line(`poseidon_events_total{kind=%q} %d`, k, s.Events.ByKind[k])
+	}
+	b.header("poseidon_events_emitted_total", "counter", "Journal events emitted (all kinds).")
+	b.line(`poseidon_events_emitted_total %d`, s.Events.Emitted)
+	b.header("poseidon_events_overwritten_total", "counter",
+		"Journal events displaced from the ring before being read.")
+	b.line(`poseidon_events_overwritten_total %d`, s.Events.Overwritten)
+
+	return b.err
+}
+
+// promBuf accumulates exposition lines, remembering the first write error.
+type promBuf struct {
+	w   io.Writer
+	err error
+}
+
+func (b *promBuf) line(format string, args ...any) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = fmt.Fprintf(b.w, format+"\n", args...)
+}
+
+func (b *promBuf) header(name, typ, help string) {
+	b.line("# HELP %s %s", name, help)
+	b.line("# TYPE %s %s", name, typ)
+}
+
+// seconds renders nanoseconds as decimal seconds.
+func seconds(ns uint64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+func f64(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func boolInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// goldenSnapshot is a small fully-populated snapshot with hand-computable
+// exposition output.
+func goldenSnapshot() *Snapshot {
+	return &Snapshot{
+		Ops: []OpStats{{
+			Op: "alloc", Count: 4, TotalNS: 8000, MeanNS: 2000,
+			P50NS: 1500, P95NS: 3000, P99NS: 3500, MaxNS: 4000,
+		}},
+		Attribution: []ClassAttr{
+			{Class: "alloc", Ops: 4, Writes: 40, BytesWritten: 1024, Flushes: 10, Fences: 8,
+				WritesPerOp: 10, BytesPerOp: 256, FlushesPerOp: 2.5, FencesPerOp: 2},
+			{Class: "user", Writes: 5, BytesWritten: 100, Flushes: 2, Fences: 1},
+		},
+		Counters: map[string]uint64{"frees": 2, "allocs": 4},
+		Subheaps: []SubheapGauge{
+			{ID: 0, Initialized: true, AllocatedBlocks: 3, AllocatedBytes: 768,
+				FreeBlocks: 2, FreeBytes: 512, LargestFreeBytes: 256, Fragmentation: 0.5},
+			{ID: 1, Quarantined: true, QuarantineReason: "audit failed"},
+		},
+		Device: DeviceStats{StatsEnabled: true, Writes: 45, BytesWritten: 1124,
+			Flushes: 12, Fences: 9, CapacityBytes: 1 << 20, ResidentBytes: 4096},
+		Events: EventsSnapshot{Emitted: 3, Overwritten: 1,
+			ByKind: map[string]uint64{"crash": 2, "recovery": 1}},
+	}
+}
+
+const goldenExposition = `# HELP poseidon_op_duration_seconds Latency of allocator operations by class.
+# TYPE poseidon_op_duration_seconds summary
+poseidon_op_duration_seconds{op="alloc",quantile="0.5"} 1.5e-06
+poseidon_op_duration_seconds{op="alloc",quantile="0.95"} 3e-06
+poseidon_op_duration_seconds{op="alloc",quantile="0.99"} 3.5e-06
+poseidon_op_duration_seconds_sum{op="alloc"} 8e-06
+poseidon_op_duration_seconds_count{op="alloc"} 4
+# HELP poseidon_op_duration_max_seconds Maximum observed latency by operation class.
+# TYPE poseidon_op_duration_max_seconds gauge
+poseidon_op_duration_max_seconds{op="alloc"} 4e-06
+# HELP poseidon_device_class_writes_total Device writes attributed to the issuing operation class.
+# TYPE poseidon_device_class_writes_total counter
+poseidon_device_class_writes_total{class="alloc"} 40
+poseidon_device_class_writes_total{class="user"} 5
+# HELP poseidon_device_class_bytes_written_total Bytes written, attributed to the issuing operation class.
+# TYPE poseidon_device_class_bytes_written_total counter
+poseidon_device_class_bytes_written_total{class="alloc"} 1024
+poseidon_device_class_bytes_written_total{class="user"} 100
+# HELP poseidon_device_class_flushes_total Cachelines flushed (clwb), attributed to the issuing operation class.
+# TYPE poseidon_device_class_flushes_total counter
+poseidon_device_class_flushes_total{class="alloc"} 10
+poseidon_device_class_flushes_total{class="user"} 2
+# HELP poseidon_device_class_fences_total Ordering barriers (sfence), attributed to the issuing operation class.
+# TYPE poseidon_device_class_fences_total counter
+poseidon_device_class_fences_total{class="alloc"} 8
+poseidon_device_class_fences_total{class="user"} 1
+# HELP poseidon_class_flushes_per_op Flush amplification: cachelines flushed per operation of the class.
+# TYPE poseidon_class_flushes_per_op gauge
+poseidon_class_flushes_per_op{class="alloc"} 2.5
+# HELP poseidon_class_fences_per_op Fence amplification: barriers per operation of the class.
+# TYPE poseidon_class_fences_per_op gauge
+poseidon_class_fences_per_op{class="alloc"} 2
+# HELP poseidon_class_bytes_per_op Write amplification: device bytes written per operation of the class.
+# TYPE poseidon_class_bytes_per_op gauge
+poseidon_class_bytes_per_op{class="alloc"} 256
+# HELP poseidon_heap_counter_total Lifetime allocator counters by name.
+# TYPE poseidon_heap_counter_total counter
+poseidon_heap_counter_total{name="allocs"} 4
+poseidon_heap_counter_total{name="frees"} 2
+# HELP poseidon_subheap_free_bytes Free user bytes per sub-heap.
+# TYPE poseidon_subheap_free_bytes gauge
+poseidon_subheap_free_bytes{subheap="0"} 512
+poseidon_subheap_free_bytes{subheap="1"} 0
+# HELP poseidon_subheap_allocated_bytes Allocated user bytes per sub-heap.
+# TYPE poseidon_subheap_allocated_bytes gauge
+poseidon_subheap_allocated_bytes{subheap="0"} 768
+poseidon_subheap_allocated_bytes{subheap="1"} 0
+# HELP poseidon_subheap_allocated_blocks Allocated block count per sub-heap.
+# TYPE poseidon_subheap_allocated_blocks gauge
+poseidon_subheap_allocated_blocks{subheap="0"} 3
+poseidon_subheap_allocated_blocks{subheap="1"} 0
+# HELP poseidon_subheap_fragmentation 1 - largest-free-block/free-bytes per sub-heap (0 = unfragmented).
+# TYPE poseidon_subheap_fragmentation gauge
+poseidon_subheap_fragmentation{subheap="0"} 0.5
+poseidon_subheap_fragmentation{subheap="1"} 0
+# HELP poseidon_subheap_quarantined 1 when the sub-heap is out of service (degrade-don't-die).
+# TYPE poseidon_subheap_quarantined gauge
+poseidon_subheap_quarantined{subheap="0"} 0
+poseidon_subheap_quarantined{subheap="1"} 1
+# HELP poseidon_device_stats_enabled 1 when flat device counters are collected.
+# TYPE poseidon_device_stats_enabled gauge
+poseidon_device_stats_enabled 1
+# HELP poseidon_device_writes_total Device writes (all classes).
+# TYPE poseidon_device_writes_total counter
+poseidon_device_writes_total 45
+# HELP poseidon_device_bytes_written_total Device bytes written.
+# TYPE poseidon_device_bytes_written_total counter
+poseidon_device_bytes_written_total 1124
+# HELP poseidon_device_flushes_total Cachelines flushed (clwb).
+# TYPE poseidon_device_flushes_total counter
+poseidon_device_flushes_total 12
+# HELP poseidon_device_fences_total Ordering barriers (sfence).
+# TYPE poseidon_device_fences_total counter
+poseidon_device_fences_total 9
+# HELP poseidon_device_capacity_bytes Device capacity.
+# TYPE poseidon_device_capacity_bytes gauge
+poseidon_device_capacity_bytes 1048576
+# HELP poseidon_device_resident_bytes Materialised backing memory.
+# TYPE poseidon_device_resident_bytes gauge
+poseidon_device_resident_bytes 4096
+# HELP poseidon_events_total Journal events emitted, by kind.
+# TYPE poseidon_events_total counter
+poseidon_events_total{kind="crash"} 2
+poseidon_events_total{kind="recovery"} 1
+# HELP poseidon_events_emitted_total Journal events emitted (all kinds).
+# TYPE poseidon_events_emitted_total counter
+poseidon_events_emitted_total 3
+# HELP poseidon_events_overwritten_total Journal events displaced from the ring before being read.
+# TYPE poseidon_events_overwritten_total counter
+poseidon_events_overwritten_total 1
+`
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if got != goldenExposition {
+		gl, wl := strings.Split(got, "\n"), strings.Split(goldenExposition, "\n")
+		for i := 0; i < len(gl) || i < len(wl); i++ {
+			var g, w string
+			if i < len(gl) {
+				g = gl[i]
+			}
+			if i < len(wl) {
+				w = wl[i]
+			}
+			if g != w {
+				t.Fatalf("exposition diverges at line %d:\n got:  %q\n want: %q", i+1, g, w)
+			}
+		}
+		t.Fatal("exposition differs (length only?)")
+	}
+}
+
+// TestWritePrometheusDeterministic pins the map-ordering guarantees: two
+// renders of the same snapshot must be byte-identical.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	s := goldenSnapshot()
+	var a, b strings.Builder
+	if err := WritePrometheus(&a, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two renders of the same snapshot differ")
+	}
+}
+
+func TestWriteTextSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := WriteText(&b, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"operation latency:", "alloc", "device traffic by class:",
+		"QUARANTINED (audit failed)", "fragmentation 0.500",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteText renders the snapshot as the human-readable report printed by
+// poseidon-inspect -stats and shared by any tool that wants a terminal
+// view. Sections with no data are omitted.
+func WriteText(w io.Writer, s *Snapshot) error {
+	b := &promBuf{w: w}
+
+	hasOps := false
+	for _, op := range s.Ops {
+		if op.Count > 0 {
+			hasOps = true
+			break
+		}
+	}
+	if hasOps {
+		b.line("operation latency:")
+		b.line("  %-10s %10s %12s %12s %12s %12s", "op", "count", "p50", "p95", "p99", "max")
+		for _, op := range s.Ops {
+			if op.Count == 0 {
+				continue
+			}
+			b.line("  %-10s %10d %12s %12s %12s %12s", op.Op, op.Count,
+				durStr(op.P50NS), durStr(op.P95NS), durStr(op.P99NS), durStr(op.MaxNS))
+		}
+	}
+
+	hasAttr := false
+	for _, c := range s.Attribution {
+		if c.Writes+c.Flushes+c.Fences > 0 {
+			hasAttr = true
+			break
+		}
+	}
+	if hasAttr {
+		b.line("device traffic by class:")
+		b.line("  %-10s %10s %12s %10s %10s %12s %12s", "class", "writes", "bytes", "flushes", "fences", "flushes/op", "bytes/op")
+		for _, c := range s.Attribution {
+			if c.Writes+c.Flushes+c.Fences == 0 {
+				continue
+			}
+			ratioF, ratioB := "-", "-"
+			if c.Ops > 0 {
+				ratioF = fmt.Sprintf("%.2f", c.FlushesPerOp)
+				ratioB = fmt.Sprintf("%.1f", c.BytesPerOp)
+			}
+			b.line("  %-10s %10d %12d %10d %10d %12s %12s",
+				c.Class, c.Writes, c.BytesWritten, c.Flushes, c.Fences, ratioF, ratioB)
+		}
+	}
+
+	if len(s.Subheaps) > 0 {
+		b.line("sub-heaps:")
+		for _, g := range s.Subheaps {
+			switch {
+			case g.Quarantined:
+				b.line("  %3d: QUARANTINED (%s)", g.ID, g.QuarantineReason)
+			case !g.Initialized:
+				b.line("  %3d: not yet formatted", g.ID)
+			default:
+				b.line("  %3d: %d allocated blocks (%d B), %d free blocks (%d B), largest free %d B, fragmentation %.3f",
+					g.ID, g.AllocatedBlocks, g.AllocatedBytes, g.FreeBlocks,
+					g.FreeBytes, g.LargestFreeBytes, g.Fragmentation)
+			}
+		}
+	}
+
+	if len(s.Counters) > 0 {
+		b.line("counters:")
+		for _, name := range s.CounterNames() {
+			if v := s.Counters[name]; v > 0 {
+				b.line("  %-22s %d", name, v)
+			}
+		}
+	}
+
+	if s.Device.StatsEnabled {
+		b.line("device: %d writes (%d B), %d cacheline flushes, %d fences",
+			s.Device.Writes, s.Device.BytesWritten, s.Device.Flushes, s.Device.Fences)
+	}
+	if s.Device.CapacityBytes > 0 {
+		b.line("device: capacity %d B, resident %d B", s.Device.CapacityBytes, s.Device.ResidentBytes)
+	}
+
+	if s.Events.Emitted > 0 {
+		b.line("events: %d emitted, %d overwritten", s.Events.Emitted, s.Events.Overwritten)
+		for _, e := range s.Events.Recent {
+			scope := ""
+			if e.Subheap >= 0 {
+				scope = fmt.Sprintf(" subheap=%d", e.Subheap)
+			}
+			b.line("  #%d %s%s: %s", e.Seq, e.KindStr, scope, e.Detail)
+		}
+	}
+	return b.err
+}
+
+// durStr renders nanoseconds with an adaptive unit.
+func durStr(ns uint64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"poseidon/internal/alloc"
 	"poseidon/internal/core"
 	"poseidon/internal/nvm"
+	"poseidon/internal/obs"
 	"poseidon/internal/workloads"
 )
 
@@ -40,6 +41,10 @@ type Config struct {
 	SinglePoint bool
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
+	// Telemetry, when non-nil, instruments every torture heap: recovery and
+	// scrub latencies accumulate across the sweep, and each violation is
+	// journalled as an EventViolation. Nil costs nothing.
+	Telemetry *obs.Telemetry
 }
 
 // Violation is one crash point whose recovery left the heap inconsistent.
@@ -87,7 +92,7 @@ func (c Config) withDefaults() Config {
 // heapOptions is the fixed torture-heap geometry: small enough that a
 // crash/recover/audit cycle is fast, large enough that the mix workload
 // never legitimately exhausts it.
-func heapOptions() core.Options {
+func heapOptions(tel *obs.Telemetry) core.Options {
 	return core.Options{
 		Subheaps:        2,
 		SubheapUserSize: 1 << 20,
@@ -97,6 +102,7 @@ func heapOptions() core.Options {
 		HeapID:          0x70051D04, // fixed: runs must be byte-identical
 		CrashTracking:   true,
 		ScrubOnLoad:     true,
+		Telemetry:       tel,
 	}
 }
 
@@ -146,7 +152,10 @@ func runWorkload(h *core.Heap, ops int, seed int64) error {
 // exact number of mutating device operations, i.e. the crash points to
 // sweep.
 func CountOps(ops int, seed int64) (int, error) {
-	h, err := core.Create(heapOptions())
+	// Uninstrumented on purpose: the measurement run must consume exactly
+	// the same device-op budget as the swept runs, and telemetry adds no
+	// device ops either way — but keeping it out makes that obvious.
+	h, err := core.Create(heapOptions(nil))
 	if err != nil {
 		return 0, err
 	}
@@ -174,16 +183,19 @@ func pointSeed(seed int64, point int) int64 {
 // surviving inconsistency.
 func runPoint(cfg Config, mode nvm.EvictMode, point int) (nvm.CrashReport, *Violation, error) {
 	fail := func(report nvm.CrashReport, format string, args ...any) (nvm.CrashReport, *Violation, error) {
+		detail := fmt.Sprintf(format, args...)
+		cfg.Telemetry.Emit(obs.EventViolation, -1,
+			fmt.Sprintf("mode=%s point=%d: %s", mode, point, detail))
 		return report, &Violation{
 			Mode:   mode,
 			Point:  point,
 			Seed:   cfg.Seed,
 			Report: report,
-			Detail: fmt.Sprintf(format, args...),
+			Detail: detail,
 		}, nil
 	}
 
-	h, err := core.Create(heapOptions())
+	h, err := core.Create(heapOptions(cfg.Telemetry))
 	if err != nil {
 		return nvm.CrashReport{}, nil, err
 	}
@@ -209,7 +221,7 @@ func runPoint(cfg Config, mode nvm.EvictMode, point int) (nvm.CrashReport, *Viol
 		return report, nil, err
 	}
 
-	h2, err := core.Load(dev, heapOptions())
+	h2, err := core.Load(dev, heapOptions(cfg.Telemetry))
 	if err != nil {
 		return fail(report, "Load after crash: %v", err)
 	}

@@ -39,6 +39,7 @@ import (
 
 	"poseidon/internal/core"
 	"poseidon/internal/nvm"
+	"poseidon/internal/obs"
 )
 
 // Core types, re-exported from the implementation package so application
@@ -55,7 +56,23 @@ type (
 	HeapStats = core.HeapStats
 	// Protection selects the metadata guard (MPK, none, mprotect-cost).
 	Protection = core.Protection
+	// Telemetry is the observability registry: pass one in
+	// Options.Telemetry to get latency histograms, per-class device-traffic
+	// attribution, per-sub-heap gauges and the event journal. See
+	// Heap.Metrics.
+	Telemetry = obs.Telemetry
+	// Metrics is the full telemetry snapshot returned by Heap.Metrics.
+	Metrics = obs.Snapshot
+	// DeviceStatsSnapshot is the device's flat operation counters
+	// (writes, bytes, clwb flushes, sfence barriers). Enabled reports
+	// whether collection was on — an all-zero snapshot with Enabled false
+	// means "never measured", not "idle".
+	DeviceStatsSnapshot = nvm.StatsSnapshot
 )
+
+// NewTelemetry creates a telemetry registry for Options.Telemetry. One
+// registry may be shared by several heaps; their traffic then aggregates.
+func NewTelemetry() *Telemetry { return obs.New() }
 
 // Protection modes.
 const (
@@ -117,7 +134,9 @@ func Open(path string, opts Options) (*Heap, error) {
 	}
 	dev, err := nvm.LoadFile(path, nvm.Options{
 		CrashTracking: opts.CrashTracking,
-		Stats:         opts.DeviceStats,
+		// Telemetry implies device stats (mirrors core's option defaulting,
+		// which cannot reach back to a device created here).
+		Stats: opts.DeviceStats || opts.Telemetry != nil,
 	})
 	if err != nil {
 		return nil, err
