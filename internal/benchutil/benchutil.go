@@ -22,6 +22,11 @@ import (
 // paper's order.
 var AllocatorNames = []string{"poseidon", "pmdk", "makalu"}
 
+// RingAllocatorName is the Poseidon variant with remote-free rings on —
+// benchmarked against plain "poseidon" to measure what the rings buy on
+// cross-thread free workloads (Fig 7).
+const RingAllocatorName = "poseidon-rings"
+
 // Config sizes the heap for a workload.
 type Config struct {
 	// Threads is the maximum worker count the allocator must serve.
@@ -33,6 +38,9 @@ type Config struct {
 	// Telemetry, when non-nil, wires Poseidon heaps into an observability
 	// registry. Falls back to the package default set by SetTelemetry.
 	Telemetry *obs.Telemetry
+	// RemoteFreeRings enables Poseidon's remote-free rings (implied by the
+	// "poseidon-rings" allocator name).
+	RemoteFreeRings bool
 }
 
 // defaultTelemetry is applied to every Poseidon heap NewAllocator builds
@@ -54,7 +62,7 @@ func NewAllocator(name string, cfg Config) (alloc.Allocator, error) {
 		cfg.HeapBytes = 512 << 20
 	}
 	switch name {
-	case "poseidon":
+	case "poseidon", RingAllocatorName:
 		perSub := nextPow2(cfg.HeapBytes / uint64(cfg.Threads))
 		if perSub < 4<<20 {
 			perSub = 4 << 20
@@ -74,6 +82,7 @@ func NewAllocator(name string, cfg Config) (alloc.Allocator, error) {
 			MaxThreads:      cfg.Threads + 8,
 			Protection:      cfg.Protection,
 			Telemetry:       tel,
+			RemoteFreeRings: cfg.RemoteFreeRings || name == RingAllocatorName,
 		})
 	case "pmdk":
 		return pmdkalloc.New(pmdkalloc.Options{Capacity: cfg.HeapBytes})
@@ -172,9 +181,15 @@ func (f *Figure) Add(allocator string, threads int, ops uint64, d time.Duration)
 // Print renders the figure as the table of rows the paper plots.
 func (f *Figure) Print(w io.Writer) {
 	fmt.Fprintf(w, "# %s\n", f.Title)
+	width := 12
+	for _, s := range f.Series {
+		if len(s.Allocator)+1 > width {
+			width = len(s.Allocator) + 1
+		}
+	}
 	fmt.Fprintf(w, "%-8s", "threads")
 	for _, s := range f.Series {
-		fmt.Fprintf(w, "%12s", s.Allocator)
+		fmt.Fprintf(w, "%*s", width, s.Allocator)
 	}
 	fmt.Fprintln(w)
 	// Collect the sorted union of thread counts.
@@ -199,7 +214,7 @@ func (f *Figure) Print(w io.Writer) {
 					break
 				}
 			}
-			fmt.Fprintf(w, "%12s", v)
+			fmt.Fprintf(w, "%*s", width, v)
 		}
 		fmt.Fprintln(w)
 	}

@@ -654,6 +654,22 @@ func (h *Heap) isClosed() bool {
 	return h.closed
 }
 
+// DrainRemoteFrees drains every sub-heap's remote-free ring to empty —
+// the quiesce point tests and tools use before auditing, and a hook for
+// applications that want an empty ring at a checkpoint. A no-op on heaps
+// without Options.RemoteFreeRings. Quarantined sub-heaps are skipped.
+func (h *Heap) DrainRemoteFrees() error {
+	if h.isClosed() {
+		return ErrClosed
+	}
+	for _, s := range h.subheaps {
+		if err := s.drainRemote(); err != nil {
+			return fmt.Errorf("sub-heap %d: %w", s.id, err)
+		}
+	}
+	return nil
+}
+
 // Stats aggregates per-sub-heap counters.
 func (h *Heap) Stats() HeapStats {
 	var out HeapStats
@@ -666,6 +682,9 @@ func (h *Heap) Stats() HeapStats {
 		out.DoubleFrees += s.stats.doubleFrees.Load()
 		out.RecoveredBlocks += s.stats.recoveredBlocks.Load()
 		out.RecoveredNoops += s.stats.recoveredNoops.Load()
+		out.RemoteFrees += s.stats.remoteFrees.Load()
+		out.RemoteDrains += s.stats.remoteDrains.Load()
+		out.RingFallbacks += s.stats.ringFallbacks.Load()
 		if s.isQuarantined() {
 			out.QuarantinedSubheaps++
 			out.QuarantinedBytes += h.lay.userSize

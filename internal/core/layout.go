@@ -49,7 +49,16 @@ const (
 	// Sub-heap header field offsets (relative to the sub-heap base).
 	shInitializedOff = 0
 	shHeaderSize     = nvm.PageSize
+
+	// shRingOff places the remote-free ring in the spare space of the
+	// sub-heap header page, one cacheline past the initialized word so
+	// the two never share a dirty line. format() zeroes the whole header
+	// page, so images written before rings existed read as an empty ring.
+	shRingOff = 128
 )
+
+// The ring must fit the header page (compile-time bound).
+const _ = uint64(shHeaderSize - shRingOff - memblock.RingBytes)
 
 // metadataKey is the MPK protection key guarding all heap metadata.
 const metadataKey = 1
@@ -96,6 +105,11 @@ func (l layout) subheapBase(i int) uint64 {
 // userBase returns the device offset of sub-heap i's user region.
 func (l layout) userBase(i int) uint64 {
 	return l.subheapBase(i) + l.metaSize
+}
+
+// ringBase returns the device offset of sub-heap i's remote-free ring.
+func (l layout) ringBase(i int) uint64 {
+	return l.subheapBase(i) + shRingOff
 }
 
 // undoBase returns the device offset of sub-heap i's undo log.

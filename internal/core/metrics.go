@@ -34,6 +34,9 @@ func (h *Heap) Metrics() *obs.Snapshot {
 		"double_frees":         st.DoubleFrees,
 		"recovered_blocks":     st.RecoveredBlocks,
 		"recovered_noops":      st.RecoveredNoops,
+		"remote_frees":         st.RemoteFrees,
+		"remote_drains":        st.RemoteDrains,
+		"ring_fallbacks":       st.RingFallbacks,
 		"permission_switches":  st.PermissionSwitches,
 		"quarantined_subheaps": st.QuarantinedSubheaps,
 		"quarantined_bytes":    st.QuarantinedBytes,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"poseidon/internal/memblock"
 	"poseidon/internal/nvm"
 	"poseidon/internal/obs"
 )
@@ -68,6 +69,18 @@ type Options struct {
 	// writes that beat MPK). Costs a full metadata scan per sub-heap at
 	// load; default off.
 	ScrubOnLoad bool
+	// RemoteFreeRings enables the persistent per-sub-heap remote-free
+	// ring (mimalloc-style message-passing frees): a thread freeing a
+	// block owned by another sub-heap CAS-reserves a ring slot, persists
+	// one {blockOff, epoch} entry with a single flush+fence and returns —
+	// no owner lock taken. The owner drains entries in batches under one
+	// lock acquisition, a full ring falls back to the locked path (Free
+	// never blocks), and recovery replays un-drained entries
+	// idempotently. The trade-off: a cross-sub-heap Free returns before
+	// validation, so an invalid or double free of a remote block surfaces
+	// in the InvalidFrees/DoubleFrees counters at drain time instead of
+	// as an error from Free. Default off.
+	RemoteFreeRings bool
 	// DeviceStats enables flush/fence counters on the device.
 	DeviceStats bool
 	// Telemetry, when non-nil, wires the heap into the telemetry registry:
@@ -148,6 +161,10 @@ func (o Options) validate() error {
 	}
 	if o.MaxThreads < 1 || o.MaxThreads > 1<<20 {
 		return fmt.Errorf("poseidon: max threads %d out of range", o.MaxThreads)
+	}
+	if o.RemoteFreeRings && o.SubheapUserSize-1 > memblock.MaxRingRel {
+		return fmt.Errorf("poseidon: sub-heap user size %d exceeds the remote-free ring's %d-bit offset",
+			o.SubheapUserSize, 44)
 	}
 	return nil
 }

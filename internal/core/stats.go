@@ -13,6 +13,9 @@ type subheapStats struct {
 	doubleFrees     atomic.Uint64
 	recoveredBlocks atomic.Uint64
 	recoveredNoops  atomic.Uint64
+	remoteFrees     atomic.Uint64
+	remoteDrains    atomic.Uint64
+	ringFallbacks   atomic.Uint64
 }
 
 // HeapStats is an aggregated snapshot of allocator activity.
@@ -25,6 +28,9 @@ type HeapStats struct {
 	DoubleFrees        uint64 // frees rejected: block already free
 	RecoveredBlocks    uint64 // uncommitted tx allocations freed at recovery
 	RecoveredNoops     uint64 // micro-log entries already rolled back by undo
+	RemoteFrees        uint64 // cross-sub-heap frees enqueued on remote-free rings
+	RemoteDrains       uint64 // ring entries drained (owner batches + recovery replay)
+	RingFallbacks      uint64 // remote frees that found a full ring and took the locked path
 	PermissionSwitches uint64 // WRPKRU executions (2 per guarded operation)
 	QuarantinedSubheaps uint64 // sub-heaps recovery took out of service
 	QuarantinedBytes    uint64 // user capacity lost to quarantine

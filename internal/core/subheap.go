@@ -43,6 +43,16 @@ type subheap struct {
 	batch  *txn.Batch
 	ready  bool // logs opened and persistent structures formatted
 
+	// ring is the remote-free ring's DRAM coordination state; the
+	// persistent slots live in the sub-heap header page (shRingOff).
+	// Always wired (replay must run even when the current Options leave
+	// rings off but the image holds entries from a previous run); armed
+	// for producers only under Options.RemoteFreeRings once the
+	// persistent slots are in a known state. localOps counts operations
+	// under mu and paces the opportunistic drain.
+	ring     *memblock.Ring
+	localOps uint64
+
 	// quarantined marks a sub-heap taken out of service because its
 	// metadata failed recovery or audit (degrade-don't-die): allocations
 	// route around it, frees into it are rejected, and its capacity is
@@ -111,6 +121,7 @@ func newSubheap(h *Heap, id int) (*subheap, error) {
 		thread: h.unit.NewThread(defaultRights(h.opts)),
 	}
 	s.win = mpk.NewWindow(h.dev, s.thread)
+	s.ring = memblock.NewRing(h.lay.ringBase(id))
 	if h.tel != nil {
 		s.rec = nvm.NewAttrRecorder(h.tel.Attribution(), nvm.ClassOther)
 		s.win = s.win.WithRecorder(s.rec)
@@ -154,6 +165,9 @@ func (s *subheap) recoverLogs() error {
 	if err := s.open(true); err != nil {
 		return err
 	}
+	if err := s.replayRingLocked(); err != nil {
+		return err
+	}
 	s.seedGauges()
 	return nil
 }
@@ -188,9 +202,15 @@ func (s *subheap) ensureReady() error {
 	}
 	if init {
 		// Raw-attached heaps (fsck -raw) must see the image untouched:
-		// open without replaying the undo log.
+		// open without replaying the undo log (or the remote-free ring;
+		// the ring also stays disarmed, so no producer writes it).
 		if err := s.open(!s.h.rawAttach); err != nil {
 			return err
+		}
+		if !s.h.rawAttach {
+			if err := s.replayRingLocked(); err != nil {
+				return err
+			}
 		}
 		s.seedGauges()
 		return nil
@@ -258,6 +278,11 @@ func (s *subheap) format() error {
 		return err
 	}
 	s.seedGauges()
+	// The ring region was zeroed above; open it for producers.
+	s.ring.Reset()
+	if s.h.opts.RemoteFreeRings {
+		s.ring.Arm()
+	}
 	return nil
 }
 
@@ -284,13 +309,17 @@ func (s *subheap) alloc(size uint64, lane *plog.MicroLog) (uint64, error) {
 	} else {
 		s.setClass(nvm.ClassAlloc)
 	}
+	// The alloc slow path is a drain point: we already paid for the lock.
+	if err := s.maybeDrainLocked(); err != nil {
+		return 0, err
+	}
 	g := s.mgr.Geometry()
 	class, err := g.ClassOf(size)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrBadSize, err)
 	}
 
-	var defraggedList, defraggedProbe, extended bool
+	var defraggedList, defraggedProbe, extended, drainedRing bool
 	for {
 		off, err := s.tryAlloc(class, lane)
 		if err == nil {
@@ -325,7 +354,19 @@ func (s *subheap) alloc(size uint64, lane *plog.MicroLog) (uint64, error) {
 			}
 			return 0, fmt.Errorf("%w: metadata table full", ErrOutOfMemory)
 		case errors.Is(err, errNoFreeBlock):
-			// Space pressure: merge smaller free blocks upward (§5.4).
+			// Space pressure: pending remote frees are the cheapest
+			// memory to reclaim — drain them before defragmenting.
+			if !drainedRing {
+				drainedRing = true
+				n, derr := s.drainRingLocked(0)
+				if derr != nil {
+					return 0, derr
+				}
+				if n > 0 {
+					continue
+				}
+			}
+			// Merge smaller free blocks upward (§5.4).
 			if !defraggedList {
 				defraggedList = true
 				progress, derr := s.defragFreeLists(class)
@@ -461,6 +502,17 @@ func (s *subheap) freeAs(blockOff uint64, cls nvm.OpClass) error {
 		return err
 	}
 	s.setClass(cls)
+	// Local frees are a drain point too ("per N local ops").
+	if err := s.maybeDrainLocked(); err != nil {
+		return err
+	}
+	return s.freeLocked(blockOff)
+}
+
+// freeLocked is the body of freeAs — and the exact per-entry logic the
+// remote-free ring drain replays. Caller holds mu with metadata rights on
+// a ready sub-heap.
+func (s *subheap) freeLocked(blockOff uint64) error {
 	slot, err := s.mgr.Lookup(s.win, blockOff)
 	if errors.Is(err, memblock.ErrNotFound) {
 		s.stats.invalidFrees.Add(1)
@@ -502,6 +554,225 @@ func (s *subheap) freeAs(blockOff uint64, cls nvm.OpClass) error {
 		s.gauge.freeByClass[class].Add(1)
 	}
 	return nil
+}
+
+// drainInterval paces the opportunistic drain: every drainInterval-th
+// operation under mu drains the ring even when it is far from full, so a
+// quiet ring still empties.
+const drainInterval = 64
+
+// remoteFree enqueues a cross-sub-heap free on this sub-heap's remote-free
+// ring without taking its lock: CAS-reserve a ticket, persist the encoded
+// entry with a single flush+fence through the CALLING thread's window, and
+// publish. Reports handled=false when the ring is disarmed or full — the
+// caller then falls back to the locked path, so Free never blocks.
+func (s *subheap) remoteFree(t *Thread, blockOff uint64) (bool, error) {
+	r := s.ring
+	if !r.Armed() || s.isQuarantined() {
+		return false, nil
+	}
+	ticket, ok := r.Reserve()
+	if !ok {
+		s.stats.ringFallbacks.Add(1)
+		return false, nil
+	}
+	word := memblock.EncodeRingEntry(blockOff-s.h.lay.userBase(s.id), uint8(ticket))
+	slotOff := r.SlotOff(ticket)
+	// The ring lives in protected metadata, and the producer is an
+	// application thread: grant it write rights for the one store, and
+	// charge the traffic to the free class.
+	if t.rec != nil {
+		t.rec.SetClass(nvm.ClassFree)
+		defer t.rec.SetClass(nvm.ClassUser)
+	}
+	t.h.grant(t.pkru)
+	err := t.win.PersistU64(slotOff, word)
+	if err != nil {
+		// The entry may or may not have reached the slot; best-effort
+		// zero it so the drain skips it. Publish regardless — an
+		// unpublished ticket would wedge the ring head forever.
+		_ = t.win.WriteU64(slotOff, 0)
+	}
+	t.h.revoke(t.pkru)
+	r.Publish(ticket)
+	if err != nil {
+		return true, err
+	}
+	s.stats.remoteFrees.Add(1)
+	return true, nil
+}
+
+// maybeDrainLocked is the opportunistic drain trigger on the alloc and
+// free paths: a full drain when the ring is at least half full, and every
+// drainInterval-th operation regardless. Caller holds mu with metadata
+// rights on a ready sub-heap.
+func (s *subheap) maybeDrainLocked() error {
+	if !s.ring.Armed() {
+		return nil
+	}
+	s.localOps++
+	if s.ring.Pending() >= memblock.RingSlots/2 || s.localOps%drainInterval == 0 {
+		_, err := s.drainRingLocked(0)
+		return err
+	}
+	return nil
+}
+
+// drainRingLocked consumes published remote-free ring entries in batches:
+// each entry is freed exactly as freeAs would (an entry whose record is
+// already free or unknown is an idempotent no-op feeding the double/
+// invalid-free counters), its slot is cleared, and the batch's cleared
+// slots are made durable with a single trailing fence. Only then are the
+// tickets released to producers: releasing before the clears are durable
+// would let a crash replay an old entry against a block that was
+// re-allocated in the meantime. A published entry that fails its checksum
+// is media corruption (producers persist a slot fully or not at all) — the
+// ring is disarmed and the sub-heap quarantined, degrade-don't-die.
+// limit <= 0 drains everything pending. Caller holds mu with metadata
+// rights on a ready sub-heap.
+func (s *subheap) drainRingLocked(limit int) (int, error) {
+	r := s.ring
+	if !r.Armed() {
+		return 0, nil
+	}
+	// Empty ring: nothing to do, and no OpDrain sample — the histogram
+	// counts real batches, which is what amortization math divides by.
+	if _, ok := r.PeekDrain(0); !ok {
+		return 0, nil
+	}
+	done := s.timeDrain()
+	defer done()
+	g := s.mgr.Geometry()
+	drained := 0
+	var err error
+	for limit <= 0 || drained < limit {
+		ticket, ok := r.PeekDrain(drained)
+		if !ok {
+			break
+		}
+		slotOff := r.SlotOff(ticket)
+		var word uint64
+		if word, err = s.win.ReadU64(slotOff); err != nil {
+			break
+		}
+		if word != 0 { // zero: a producer's failed persist, skip the slot
+			rel, _, okE := memblock.DecodeRingEntry(word)
+			if !okE || rel >= g.UserSize {
+				r.Disarm()
+				s.quarantine(fmt.Sprintf(
+					"remote-free ring slot %d holds corrupt entry %#x", ticket%memblock.RingSlots, word))
+				err = fmt.Errorf("%w: remote-free ring entry %#x", ErrCorruptHeap, word)
+				break
+			}
+			if ferr := s.freeLocked(g.UserBase + rel); ferr != nil &&
+				!errors.Is(ferr, ErrInvalidFree) && !errors.Is(ferr, ErrDoubleFree) {
+				err = ferr
+				break
+			}
+		}
+		if err = s.win.WriteU64(slotOff, 0); err != nil {
+			break
+		}
+		if err = s.win.Flush(slotOff, 8); err != nil {
+			break
+		}
+		drained++
+	}
+	if drained > 0 {
+		s.win.Fence()
+		r.Release(drained)
+		s.stats.remoteDrains.Add(uint64(drained))
+	}
+	return drained, err
+}
+
+// drainRemote is the standalone full drain (Heap.DrainRemoteFrees): one
+// lock acquisition, ring to empty.
+func (s *subheap) drainRemote() error {
+	if !s.ring.Armed() || s.isQuarantined() {
+		return nil
+	}
+	s.mu.Lock()
+	s.h.grant(s.thread)
+	defer func() {
+		s.h.revoke(s.thread)
+		s.mu.Unlock()
+	}()
+	if err := s.ensureReady(); err != nil {
+		return err
+	}
+	_, err := s.drainRingLocked(0)
+	return err
+}
+
+// replayRingLocked replays un-drained remote-free ring entries after a
+// restart — the producer persisted its entry, but the owner never drained
+// it. Valid entries are freed idempotently (a record already free or
+// unknown feeds the counters as a no-op: the crash fell between the
+// drain's free commit and its slot clear) and their slots cleared. Corrupt
+// entries are LEFT IN PLACE for the audit to report, and the ring stays
+// disarmed so producers cannot overwrite the evidence — the sub-heap then
+// serves through the locked free path only. Caller holds mu with metadata
+// rights on a ready sub-heap.
+func (s *subheap) replayRingLocked() error {
+	g := s.mgr.Geometry()
+	base := s.ring.Base()
+	corrupt, cleared := 0, 0
+	for i := uint64(0); i < memblock.RingSlots; i++ {
+		off := base + i*memblock.RingSlotBytes
+		word, err := s.win.ReadU64(off)
+		if err != nil {
+			return err
+		}
+		if word == 0 {
+			continue
+		}
+		rel, _, ok := memblock.DecodeRingEntry(word)
+		if !ok || rel >= g.UserSize {
+			corrupt++
+			continue
+		}
+		switch ferr := s.freeLocked(g.UserBase + rel); {
+		case ferr == nil:
+			s.stats.remoteDrains.Add(1)
+		case errors.Is(ferr, ErrInvalidFree) || errors.Is(ferr, ErrDoubleFree):
+			s.stats.recoveredNoops.Add(1)
+		default:
+			return ferr
+		}
+		if err := s.win.WriteU64(off, 0); err != nil {
+			return err
+		}
+		if err := s.win.Flush(off, 8); err != nil {
+			return err
+		}
+		cleared++
+	}
+	if cleared > 0 {
+		s.win.Fence()
+	}
+	s.ring.Reset()
+	if corrupt == 0 && s.h.opts.RemoteFreeRings {
+		s.ring.Arm()
+	}
+	return nil
+}
+
+// timeDrain retags device traffic as ClassFree (a drain is the deferred
+// half of frees) and returns a closure that restores the previous class
+// and records the batch in the drain latency histogram. A no-op (returning
+// a no-op) without telemetry.
+func (s *subheap) timeDrain() func() {
+	if s.h.tel == nil {
+		return func() {}
+	}
+	start := time.Now()
+	prev := s.rec.Class()
+	s.rec.SetClass(nvm.ClassFree)
+	return func() {
+		s.rec.SetClass(prev)
+		s.h.tel.RecordOn(s.id, obs.OpDrain, time.Since(start))
+	}
 }
 
 // mergeBuddy coalesces the free block recorded at slot with its buddy if

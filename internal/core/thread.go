@@ -205,17 +205,33 @@ func (t *Thread) TxAbandon() error {
 }
 
 // Free returns a block to its owning sub-heap — poseidon_free (§5.5).
-// Cross-sub-heap frees contend on the owner's lock, exactly as in the
-// paper (§5.7). Invalid and double frees return an error and leave the
-// heap untouched.
+// Without Options.RemoteFreeRings, cross-sub-heap frees contend on the
+// owner's lock, exactly as in the paper (§5.7); with rings, they persist
+// one entry on the owner's remote-free ring and return without the lock
+// (the owner drains in batches; a full ring falls back to the locked
+// path). Invalid and double frees return an error and leave the heap
+// untouched — except a ring-routed free, which returns before validation
+// and surfaces rejects in the counters at drain time.
+//
+// Rejected frees are journalled (EventFreeRejected), not latency-recorded:
+// an error return measures the validation path, and mixing it into the
+// OpFree histogram would pollute the tail percentiles.
 func (t *Thread) Free(p NVMPtr) error {
 	if t.h.tel == nil {
 		return t.free(p)
 	}
 	start := time.Now()
 	err := t.free(p)
+	if err != nil {
+		sh := -1
+		if int(p.Subheap()) < len(t.h.subheaps) {
+			sh = int(p.Subheap())
+		}
+		t.h.tel.Emit(obs.EventFreeRejected, sh, err.Error())
+		return err
+	}
 	t.h.tel.RecordOn(t.laneI, obs.OpFree, time.Since(start))
-	return err
+	return nil
 }
 
 func (t *Thread) free(p NVMPtr) error {
@@ -226,7 +242,13 @@ func (t *Thread) free(p NVMPtr) error {
 	if err != nil {
 		return err
 	}
-	return t.h.subheaps[p.Subheap()].free(dev)
+	s := t.h.subheaps[p.Subheap()]
+	if int(p.Subheap()) != t.shard {
+		if handled, err := s.remoteFree(t, dev); handled {
+			return err
+		}
+	}
+	return s.free(dev)
 }
 
 // BlockSize returns the usable size of the allocated block p points at.

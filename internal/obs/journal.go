@@ -19,11 +19,13 @@ const (
 	EventCrash                           // a simulated power failure was injected
 	EventRecovery                        // a heap load completed recovery
 	EventViolation                       // a torture sweep found an inconsistency
+	EventFreeRejected                    // Thread.Free rejected an invalid or double free
 	NumEventKinds
 )
 
 var eventKindNames = [NumEventKinds]string{
 	"quarantine", "transient_retry", "scrub_finding", "crash", "recovery", "violation",
+	"free_rejected",
 }
 
 func (k EventKind) String() string {

@@ -26,6 +26,7 @@ const (
 	OpTxAlloc
 	OpTxFree // recovery rollback free of an uncommitted tx allocation
 	OpDefrag
+	OpDrain    // batched remote-free ring drain by the owning sub-heap
 	OpRecovery // log replay + lane rollback during Load
 	OpLoad     // whole Load call
 	OpScrub    // ScrubOnLoad audit
@@ -33,7 +34,7 @@ const (
 )
 
 var opNames = [NumOps]string{
-	"alloc", "free", "txalloc", "txfree", "defrag", "recovery", "load", "scrub",
+	"alloc", "free", "txalloc", "txfree", "defrag", "drain", "recovery", "load", "scrub",
 }
 
 func (o Op) String() string {
@@ -46,10 +47,12 @@ func (o Op) String() string {
 // attrClassOf maps an op to the device-attribution class whose traffic it
 // explains, for per-op amplification ratios. OpLoad maps to no class
 // (NumClasses sentinel): its window is the union of recovery and scrub, and
-// counting it would double-charge those classes' ratios.
+// counting it would double-charge those classes' ratios. OpDrain likewise:
+// ring-drain device traffic is deliberately charged to ClassFree (a drain
+// IS the deferred half of frees), which OpFree already explains.
 var attrClassOf = [NumOps]nvm.OpClass{
 	nvm.ClassAlloc, nvm.ClassFree, nvm.ClassTxAlloc, nvm.ClassTxFree,
-	nvm.ClassDefrag, nvm.ClassRecovery, nvm.NumClasses, nvm.ClassScrub,
+	nvm.ClassDefrag, nvm.NumClasses, nvm.ClassRecovery, nvm.NumClasses, nvm.ClassScrub,
 }
 
 // Options configures a Telemetry instance.

@@ -102,6 +102,12 @@ func heapOptions(tel *obs.Telemetry) core.Options {
 		HeapID:          0x70051D04, // fixed: runs must be byte-identical
 		CrashTracking:   true,
 		ScrubOnLoad:     true,
+		// Rings on: the workload's remote-free segment sweeps crash points
+		// through producer persists, owner drains and recovery replays. A
+		// pure power failure must never corrupt a ring entry (slots are
+		// single 8-byte words on their own cachelines), so the quarantine
+		// check below also guards the ring's crash argument.
+		RemoteFreeRings: true,
 		Telemetry:       tel,
 	}
 }
@@ -143,6 +149,47 @@ func runWorkload(h *core.Heap, ops int, seed int64) error {
 	}
 	if _, err := workloads.Kruskal(hd, 1, seed+1); err != nil {
 		return err
+	}
+	return remoteFreeSegment(h)
+}
+
+// remoteFreeSegment is the scripted (deterministic, single-goroutine)
+// remote-free mix: blocks allocated on sub-heap 0 are freed from a thread
+// pinned to sub-heap 1, so every free rides sub-heap 0's ring. The first
+// batch is drained by the owner; the second stays pending, so crash points
+// falling after it exercise the recovery replay — and points inside the
+// drain sweep the free-commit / slot-clear / release boundaries.
+func remoteFreeSegment(h *core.Heap) error {
+	t0, err := h.ThreadOn(0)
+	if err != nil {
+		return err
+	}
+	defer t0.Close()
+	t1, err := h.ThreadOn(1)
+	if err != nil {
+		return err
+	}
+	defer t1.Close()
+
+	const blocks = 10
+	var ptrs [blocks]core.NVMPtr
+	for i := range ptrs {
+		if ptrs[i], err = t0.Alloc(uint64(64 << (i % 3))); err != nil {
+			return err
+		}
+	}
+	for _, p := range ptrs[:6] {
+		if err := t1.Free(p); err != nil {
+			return err
+		}
+	}
+	if err := h.DrainRemoteFrees(); err != nil {
+		return err
+	}
+	for _, p := range ptrs[6:] {
+		if err := t1.Free(p); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -239,9 +286,9 @@ func runPoint(cfg Config, mode nvm.EvictMode, point int) (nvm.CrashReport, *Viol
 		// never fire on a pure power failure.
 		return fail(report, "recovery quarantined %d sub-heaps: %+v",
 			check.Quarantined, check.SubheapReports)
-	case check.PendingUndo != 0 || check.PendingTx != 0:
-		return fail(report, "recovery left pending work: undo=%d tx=%d",
-			check.PendingUndo, check.PendingTx)
+	case check.PendingUndo != 0 || check.PendingTx != 0 || check.PendingRemote != 0:
+		return fail(report, "recovery left pending work: undo=%d tx=%d remote=%d",
+			check.PendingUndo, check.PendingTx, check.PendingRemote)
 	}
 
 	// The recovered heap must still serve: allocate and free a block.
