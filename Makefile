@@ -18,9 +18,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The per-figure testing.B benchmarks (bounded sweeps).
+# The per-figure testing.B benchmarks (bounded sweeps), plus the magazine
+# before/after baseline (locked path vs lock-free fast path) as JSON.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/poseidon-bench -fig mags -out BENCH_magazines.json
 
 # Full figure regeneration (tables of Mops/sec vs threads + extras).
 figures:
@@ -37,4 +39,4 @@ examples:
 	rm -f heap.img tasks.img
 
 clean:
-	rm -f heap.img tasks.img test_output.txt bench_output.txt
+	rm -f heap.img tasks.img test_output.txt bench_output.txt BENCH_magazines.json

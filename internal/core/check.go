@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"poseidon/internal/memblock"
+	"poseidon/internal/plog"
 )
 
 // SubheapReport is the audit result of one sub-heap, the classification
@@ -36,6 +37,7 @@ type CheckReport struct {
 	PendingUndo     uint64 // committed undo entries awaiting replay
 	PendingTx       uint64 // micro-log entries of open transactions
 	PendingRemote   uint64 // un-drained remote-free ring entries
+	PendingCached   uint64 // magazine-cached blocks recorded in lane manifests
 	Problems        []string
 	SubheapReports  []SubheapReport
 }
@@ -92,7 +94,57 @@ func (h *Heap) Check() (CheckReport, error) {
 		}
 		report.PendingTx += count
 	}
+	h.checkManifests(&report)
 	return report, nil
+}
+
+// checkManifests audits every lane's cache manifest: non-zero words must
+// decode, reference an in-bounds block of an in-range sub-heap, and no
+// block may be cached twice across all lanes (two magazines claiming the
+// same block would double-allocate it). Valid entries are counted, not
+// flagged — like pending ring entries, they are work recovery performs.
+// Caller holds the metadata grant.
+func (h *Heap) checkManifests(report *CheckReport) {
+	if h.lay.magSlots == 0 {
+		return
+	}
+	cached := map[uint64]string{}
+	for i := 0; i < h.lay.laneCount; i++ {
+		base := h.lay.laneManifestBase(i)
+		for k := uint64(0); k < h.lay.magSlots; k++ {
+			word, err := h.sbWin.ReadU64(base + k*8)
+			if err != nil {
+				report.Problems = append(report.Problems,
+					fmt.Sprintf("lane %d manifest slot %d: read failed: %v", i, k, err))
+				continue
+			}
+			if word == 0 {
+				continue
+			}
+			rel, shard, ok := plog.DecodeCacheEntry(word)
+			switch {
+			case !ok:
+				report.Problems = append(report.Problems,
+					fmt.Sprintf("lane %d manifest slot %d: corrupt entry %#x", i, k, word))
+			case int(shard) >= h.lay.subheaps:
+				report.Problems = append(report.Problems,
+					fmt.Sprintf("lane %d manifest slot %d: sub-heap %d out of range", i, k, shard))
+			case rel >= h.lay.userSize:
+				report.Problems = append(report.Problems,
+					fmt.Sprintf("lane %d manifest slot %d: offset %#x outside user region", i, k, rel))
+			default:
+				key := uint64(shard)<<subheapShift | rel
+				at := fmt.Sprintf("lane %d slot %d", i, k)
+				if prev, dup := cached[key]; dup {
+					report.Problems = append(report.Problems, fmt.Sprintf(
+						"%s: block sub=%d off=%#x already cached at %s", at, shard, rel, prev))
+					continue
+				}
+				cached[key] = at
+				report.PendingCached++
+			}
+		}
+	}
 }
 
 // merge folds one sub-heap's report into the heap-wide aggregate.

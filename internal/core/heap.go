@@ -49,6 +49,13 @@ type Heap struct {
 	freeLanes []int
 	nextShard atomic.Uint32
 
+	// magsOn is set when Options.Magazines is enabled AND the image's
+	// manifest arena is large enough for the requested geometry; magCap
+	// and magClasses are the effective per-thread magazine shape.
+	magsOn     bool
+	magCap     int
+	magClasses int
+
 	// rawAttach marks a heap opened by Attach: no recovery has run, so
 	// lazy sub-heap opening must not replay logs either (fsck -raw needs
 	// the untouched post-crash image).
@@ -74,7 +81,7 @@ func Create(opts Options) (*Heap, error) {
 		return nil, err
 	}
 	lay, err := computeLayout(opts.Subheaps, opts.SubheapUserSize, opts.SubheapMetaSize,
-		opts.UndoLogSize, opts.MaxThreads, opts.MicroLogLaneSize)
+		opts.UndoLogSize, opts.MaxThreads, opts.MicroLogLaneSize, opts.magSlots())
 	if err != nil {
 		return nil, err
 	}
@@ -195,6 +202,27 @@ func assemble(dev *nvm.Device, lay layout, opts Options) (*Heap, error) {
 		}
 		h.subheaps[i] = s
 	}
+	if opts.Magazines.Capacity > 0 {
+		g, err := lay.memblockGeometry(0)
+		if err != nil {
+			return nil, err
+		}
+		classes := opts.Magazines.Classes
+		if classes > g.NumClasses {
+			classes = g.NumClasses
+		}
+		if need := uint64(classes) * uint64(opts.Magazines.Capacity); need <= lay.magSlots {
+			h.magsOn = true
+			h.magCap = opts.Magazines.Capacity
+			h.magClasses = classes
+		} else {
+			// An old or differently-sized image: run without magazines
+			// rather than fail the open.
+			h.tel.Emit(obs.EventRecovery, -1, fmt.Sprintf(
+				"magazines disabled: image provisions %d manifest words per lane, geometry needs %d",
+				lay.magSlots, need))
+		}
+	}
 	if opts.Protection == ProtectMPKHardened {
 		authority, err := unit.Seal()
 		if err != nil {
@@ -264,13 +292,17 @@ func (h *Heap) format() error {
 		{sbLaneCountOff, uint64(h.lay.laneCount)},
 		{sbLaneSizeOff, h.lay.laneSize},
 		{sbUndoSizeOff, h.lay.undoSize},
+		{sbMagSlotsOff, h.lay.magSlots},
 	}
 	for _, f := range fields {
 		if err := w.WriteU64(f.off, f.val); err != nil {
 			return err
 		}
 	}
-	if err := w.Flush(0, sbInitializedOff); err != nil {
+	// Flush every header field (including the magSlots word past the
+	// initialized slot — the initialized word itself is still zero here)
+	// before the commit point below makes them meaningful.
+	if err := w.Flush(0, sbMagSlotsOff+8); err != nil {
 		return err
 	}
 	w.Fence()
@@ -363,7 +395,8 @@ func readLayout(dev *nvm.Device) (layout, error) {
 	}
 	lay, err := computeLayout(
 		int(read(sbSubheapsOff)), read(sbUserSizeOff), read(sbMetaSizeOff),
-		read(sbUndoSizeOff), int(read(sbLaneCountOff)), read(sbLaneSizeOff))
+		read(sbUndoSizeOff), int(read(sbLaneCountOff)), read(sbLaneSizeOff),
+		read(sbMagSlotsOff))
 	if ioErr != nil {
 		return layout{}, fmt.Errorf("superblock read: %w", ioErr)
 	}
@@ -446,6 +479,21 @@ func (h *Heap) recover() error {
 				return fmt.Errorf("micro lane %d: %w", i, err)
 			}
 			return fmt.Errorf("%w: micro lane %d: %v", ErrCorruptHeap, i, err)
+		}
+	}
+
+	// Return every block still recorded in a cache manifest to its free
+	// list: a crash with populated magazines must never leak the cached
+	// blocks. Replay is idempotent — an entry whose block is already free
+	// (the push that cached it never became durable) is a no-op.
+	if h.lay.magSlots > 0 {
+		for i := 0; i < h.lay.laneCount; i++ {
+			if err := h.retry(func() error { return h.recoverManifest(i) }); err != nil {
+				if !quarantinable(err) {
+					return fmt.Errorf("cache manifest %d: %w", i, err)
+				}
+				return fmt.Errorf("%w: cache manifest %d: %v", ErrCorruptHeap, i, err)
+			}
 		}
 	}
 	if h.tel != nil {
@@ -553,6 +601,72 @@ func (h *Heap) recoverLane(i int) error {
 	return err
 }
 
+// recoverManifest frees every block still recorded in lane i's cache
+// manifest and clears the processed words. Entries that fail to decode or
+// point outside the heap are left in place for the audit (media
+// corruption must stay visible); entries naming a quarantined sub-heap
+// are left untouched — that capacity is out of service anyway.
+func (h *Heap) recoverManifest(i int) error {
+	man := plog.NewManifest(h.lay.laneManifestBase(i), h.lay.magSlots)
+	cleared := 0
+	for k := uint64(0); k < man.Slots(); k++ {
+		off := man.WordOff(k)
+		word, err := h.sbWin.ReadU64(off)
+		if err != nil {
+			return err
+		}
+		if word == 0 {
+			continue
+		}
+		rel, shard, ok := plog.DecodeCacheEntry(word)
+		if !ok || int(shard) >= h.lay.subheaps || rel >= h.lay.userSize {
+			h.tel.Emit(obs.EventScrubFinding, -1, fmt.Sprintf(
+				"cache manifest %d slot %d: invalid entry %#x", i, k, word))
+			continue
+		}
+		s := h.subheaps[shard]
+		if s.isQuarantined() {
+			s.stats.recoveredNoops.Add(1)
+			continue
+		}
+		switch err := s.freeAs(h.lay.userBase(int(shard))+rel, nvm.ClassRecovery); {
+		case err == nil:
+			s.stats.recoveredCached.Add(1)
+		case errors.Is(err, ErrInvalidFree) || errors.Is(err, ErrDoubleFree):
+			// The block was never durably removed from its free list (or a
+			// later flush-back already returned it) — nothing leaked.
+			s.stats.recoveredNoops.Add(1)
+		case errors.Is(err, ErrSubheapQuarantined):
+			s.stats.recoveredNoops.Add(1)
+			continue
+		case quarantinable(err):
+			s.quarantine(fmt.Sprintf("cache manifest replay failed: %v", err))
+			s.stats.recoveredNoops.Add(1)
+			continue
+		default:
+			return err
+		}
+		h.grant(h.sbThread)
+		werr := h.sbWin.WriteU64(off, 0)
+		var ferr error
+		if werr == nil {
+			ferr = h.sbWin.Flush(off, 8)
+		}
+		h.revoke(h.sbThread)
+		if werr != nil {
+			return werr
+		}
+		if ferr != nil {
+			return ferr
+		}
+		cleared++
+	}
+	if cleared > 0 {
+		h.sbWin.Fence()
+	}
+	return nil
+}
+
 // HeapID returns the heap's persistent identity.
 func (h *Heap) HeapID() uint64 { return h.heapID }
 
@@ -626,6 +740,20 @@ func (h *Heap) RawOffset(p NVMPtr) (uint64, error) {
 	return h.lay.locToDevice(p.Subheap(), p.Offset())
 }
 
+// resolve validates p and returns its owning sub-heap together with its
+// device offset in a single decode — the hot-path form of RawOffset that
+// spares callers a second, unchecked subheaps[p.Subheap()] index.
+func (h *Heap) resolve(p NVMPtr) (*subheap, uint64, error) {
+	if p.IsNull() || p.HeapID != h.heapID {
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadPointer, p)
+	}
+	sub, off := p.Subheap(), p.Offset()
+	if int(sub) >= h.lay.subheaps || off >= h.lay.userSize {
+		return nil, 0, fmt.Errorf("%w: sub=%d off=%#x", ErrBadPointer, sub, off)
+	}
+	return h.subheaps[sub], h.lay.userBase(int(sub)) + off, nil
+}
+
 // PtrAt translates a user-region device offset back to a persistent
 // pointer — the analogue of poseidon_get_nvmptr (§4.6).
 func (h *Heap) PtrAt(deviceOff uint64) (NVMPtr, error) {
@@ -685,6 +813,11 @@ func (h *Heap) Stats() HeapStats {
 		out.RemoteFrees += s.stats.remoteFrees.Load()
 		out.RemoteDrains += s.stats.remoteDrains.Load()
 		out.RingFallbacks += s.stats.ringFallbacks.Load()
+		out.MagazineHits += s.stats.magazineHits.Load()
+		out.MagazineMisses += s.stats.magazineMisses.Load()
+		out.MagazineRefills += s.stats.magazineRefills.Load()
+		out.MagazineFlushes += s.stats.magazineFlushes.Load()
+		out.RecoveredCached += s.stats.recoveredCached.Load()
 		if s.isQuarantined() {
 			out.QuarantinedSubheaps++
 			out.QuarantinedBytes += h.lay.userSize

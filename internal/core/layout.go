@@ -13,6 +13,8 @@ import (
 //	  +0        superblock header (one page)
 //	  +4 KiB    superblock undo log (root-pointer updates)
 //	  +64 KiB   micro-log lane arena: MaxThreads lanes, one per Thread
+//	  (page-aligned) cache-manifest arena: magSlots words per lane,
+//	             the persistent shadow of per-thread block magazines
 //	sub-heap 0
 //	  +0        sub-heap header (one page)
 //	  +4 KiB    undo log
@@ -37,6 +39,11 @@ const (
 	sbUndoSizeOff    = 72
 	sbInitializedOff = 80
 	sbRootSetOff     = 88
+	// sbMagSlotsOff records the per-lane cache-manifest capacity in 8-byte
+	// words. Images written before magazines existed never stored the
+	// field, so they read zero — no manifest arena, magazines disabled —
+	// and the rest of the layout is byte-identical, so heapVersion stays 1.
+	sbMagSlotsOff = 96
 
 	sbHeaderPages = 1
 	sbUndoOff     = sbHeaderPages * nvm.PageSize
@@ -65,29 +72,34 @@ const metadataKey = 1
 
 // layout holds the computed device geometry.
 type layout struct {
-	subheaps   int
-	userSize   uint64
-	metaSize   uint64
-	undoSize   uint64
-	laneCount  int
-	laneSize   uint64
-	subheapOff uint64 // device offset of sub-heap 0
-	stride     uint64 // metaSize + userSize
-	capacity   uint64
+	subheaps    int
+	userSize    uint64
+	metaSize    uint64
+	undoSize    uint64
+	laneCount   int
+	laneSize    uint64
+	magSlots    uint64 // cache-manifest words per lane (0: no manifest arena)
+	manifestOff uint64 // device offset of lane 0's cache manifest
+	subheapOff  uint64 // device offset of sub-heap 0
+	stride      uint64 // metaSize + userSize
+	capacity    uint64
 }
 
-func computeLayout(subheaps int, userSize, metaSize, undoSize uint64, laneCount int, laneSize uint64) (layout, error) {
+func computeLayout(subheaps int, userSize, metaSize, undoSize uint64, laneCount int, laneSize, magSlots uint64) (layout, error) {
 	arena := uint64(laneCount) * laneSize
-	subOff := (sbLaneArena + arena + nvm.PageSize - 1) &^ (nvm.PageSize - 1)
+	manOff := (sbLaneArena + arena + nvm.PageSize - 1) &^ (nvm.PageSize - 1)
+	subOff := (manOff + uint64(laneCount)*magSlots*8 + nvm.PageSize - 1) &^ (nvm.PageSize - 1)
 	l := layout{
-		subheaps:   subheaps,
-		userSize:   userSize,
-		metaSize:   metaSize,
-		undoSize:   undoSize,
-		laneCount:  laneCount,
-		laneSize:   laneSize,
-		subheapOff: subOff,
-		stride:     metaSize + userSize,
+		subheaps:    subheaps,
+		userSize:    userSize,
+		metaSize:    metaSize,
+		undoSize:    undoSize,
+		laneCount:   laneCount,
+		laneSize:    laneSize,
+		magSlots:    magSlots,
+		manifestOff: manOff,
+		subheapOff:  subOff,
+		stride:      metaSize + userSize,
 	}
 	l.capacity = l.subheapOff + uint64(subheaps)*l.stride
 	// Validate that the memblock geometry fits the metadata region.
@@ -120,6 +132,12 @@ func (l layout) undoBase(i int) uint64 {
 // laneBase returns the device offset of micro-log lane i.
 func (l layout) laneBase(i int) uint64 {
 	return sbLaneArena + uint64(i)*l.laneSize
+}
+
+// laneManifestBase returns the device offset of lane i's cache manifest.
+// Only meaningful when magSlots > 0.
+func (l layout) laneManifestBase(i int) uint64 {
+	return l.manifestOff + uint64(i)*l.magSlots*8
 }
 
 // memblockGeometry computes sub-heap i's metadata layout.

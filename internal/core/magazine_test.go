@@ -1,0 +1,436 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"poseidon/internal/nvm"
+	"poseidon/internal/plog"
+)
+
+// magOptions is testOptions with small per-thread magazines enabled.
+func magOptions() Options {
+	o := testOptions()
+	o.Magazines = MagazineOptions{Capacity: 8, Classes: 4}
+	return o
+}
+
+func newMagHeap(t *testing.T, opts Options) *Heap {
+	t.Helper()
+	h, err := Create(opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if !h.magsOn {
+		t.Fatalf("magazines did not enable on a fresh image")
+	}
+	return h
+}
+
+// TestMagazineFastPathAllocFree is the tentpole happy path: after the first
+// refill, small allocs pop from the magazine and same-shard frees push back,
+// with no additional lock traffic, and the cache manifest always accounts
+// for every cached block.
+func TestMagazineFastPathAllocFree(t *testing.T) {
+	h := newMagHeap(t, magOptions())
+	th, err := h.ThreadOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ptrs []NVMPtr
+	for i := 0; i < 6; i++ {
+		p, err := th.Alloc(64)
+		if err != nil {
+			t.Fatalf("Alloc %d: %v", i, err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	st := h.Stats()
+	if st.MagazineHits != 6 {
+		t.Fatalf("MagazineHits = %d, want 6", st.MagazineHits)
+	}
+	// Capacity 8 → refills carve 4 at a time: 6 pops need 2 refills.
+	if st.MagazineRefills != 2 {
+		t.Fatalf("MagazineRefills = %d, want 2", st.MagazineRefills)
+	}
+	if st.Allocs != 6 {
+		t.Fatalf("Allocs = %d, want 6", st.Allocs)
+	}
+	// 2 blocks still cached (8 carved, 6 popped) — visible in the audit.
+	if rep := checkHeap(t, h); rep.PendingCached != 2 || !rep.OK() {
+		t.Fatalf("mid-run audit: PendingCached = %d, problems = %v",
+			rep.PendingCached, rep.Problems)
+	}
+
+	for i, p := range ptrs {
+		if err := th.Free(p); err != nil {
+			t.Fatalf("Free %d: %v", i, err)
+		}
+	}
+	st = h.Stats()
+	if st.MagazineHits != 12 {
+		t.Fatalf("MagazineHits after frees = %d, want 12", st.MagazineHits)
+	}
+	if st.Frees != 6 {
+		t.Fatalf("Frees = %d, want 6", st.Frees)
+	}
+
+	// Close flushes every cached block back; nothing may stay cached.
+	th.Close()
+	st = h.Stats()
+	if st.MagazineFlushes == 0 {
+		t.Fatalf("MagazineFlushes = 0 after Close, want > 0")
+	}
+	if rep := checkHeap(t, h); rep.PendingCached != 0 || rep.AllocatedBlocks != 0 {
+		t.Fatalf("post-Close audit: PendingCached = %d, AllocatedBlocks = %d",
+			rep.PendingCached, rep.AllocatedBlocks)
+	}
+	auditHeap(t, h)
+}
+
+// TestMagazineOverflowFlush drives a class stack past capacity: the 9th
+// push must flush half the magazine back to the sub-heap in one batch.
+func TestMagazineOverflowFlush(t *testing.T) {
+	h := newMagHeap(t, magOptions())
+	th, err := h.ThreadOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Close()
+
+	var ptrs []NVMPtr
+	for i := 0; i < 12; i++ {
+		p, err := th.Alloc(96) // class 1
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		if err := th.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 12 pushes into a capacity-8 stack: at least one overflow flush.
+	st := h.Stats()
+	if st.MagazineFlushes == 0 {
+		t.Fatalf("MagazineFlushes = 0 after 12 frees into capacity 8")
+	}
+	if rep := checkHeap(t, h); !rep.OK() {
+		t.Fatalf("audit problems: %v", rep.Problems)
+	}
+	auditHeap(t, h)
+}
+
+// TestMagazineDoubleFreeDetected: freeing a block that is currently cached
+// in this thread's magazine is the thread's own double free — rejected
+// synchronously without touching the device.
+func TestMagazineDoubleFreeDetected(t *testing.T) {
+	h := newMagHeap(t, magOptions())
+	th, err := h.ThreadOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Close()
+
+	p, err := th.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Free(p); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("second Free = %v, want ErrDoubleFree", err)
+	}
+	if st := h.Stats(); st.DoubleFrees != 1 {
+		t.Fatalf("DoubleFrees = %d, want 1", st.DoubleFrees)
+	}
+	auditHeap(t, h)
+}
+
+// TestMagazineSyncMagazines: the explicit durability sync point empties the
+// magazine and the manifest; a closed thread's sync reports ErrClosed.
+func TestMagazineSyncMagazines(t *testing.T) {
+	h := newMagHeap(t, magOptions())
+	th, err := h.ThreadOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := th.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SyncMagazines(); err != nil {
+		t.Fatalf("SyncMagazines: %v", err)
+	}
+	if rep := checkHeap(t, h); rep.PendingCached != 0 || rep.AllocatedBlocks != 0 {
+		t.Fatalf("post-sync audit: PendingCached = %d, AllocatedBlocks = %d",
+			rep.PendingCached, rep.AllocatedBlocks)
+	}
+	// The magazine stays usable after a sync.
+	if _, err := th.Alloc(64); err != nil {
+		t.Fatalf("Alloc after sync: %v", err)
+	}
+	th.Close()
+	if err := th.SyncMagazines(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SyncMagazines on closed thread = %v, want ErrClosed", err)
+	}
+	auditHeap(t, h)
+}
+
+// TestMagazineCrashRecovery crashes between refill and sync under both
+// eviction extremes and verifies the crash-reclaim invariant: no cached
+// block is ever leaked, and the manifest is empty after recovery.
+func TestMagazineCrashRecovery(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy nvm.CrashPolicy
+		// EvictNone drops the (unflushed) pop-clears with the rest of the
+		// dirty cache, so recovery also rolls the popped allocations back;
+		// EvictAll evicts every dirty line to persistence, so only the
+		// still-cached block comes back and the pops survive.
+		wantRecovered uint64
+		wantAllocated uint64
+	}{
+		{"EvictNone", nvm.CrashPolicy{Mode: nvm.EvictNone}, 4, 0},
+		{"EvictAll", nvm.CrashPolicy{Mode: nvm.EvictAll}, 1, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newMagHeap(t, magOptions())
+			th, err := h.ThreadOn(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 3 pops out of one refill batch of 4: manifest durably records
+			// the batch; the pop-clears are plain stores.
+			for i := 0; i < 3; i++ {
+				if _, err := th.Alloc(64); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Crash WITHOUT Close: the magazine is abandoned mid-flight.
+			if _, err := h.Device().Crash(tc.policy); err != nil {
+				t.Fatal(err)
+			}
+			_ = h.Close()
+			h2, err := Load(h.Device(), magOptions())
+			if err != nil {
+				t.Fatalf("Load after crash: %v", err)
+			}
+			st := h2.Stats()
+			if st.RecoveredCached != tc.wantRecovered {
+				t.Fatalf("RecoveredCached = %d, want %d", st.RecoveredCached, tc.wantRecovered)
+			}
+			rep := checkHeap(t, h2)
+			if rep.PendingCached != 0 {
+				t.Fatalf("PendingCached = %d after recovery, want 0", rep.PendingCached)
+			}
+			if rep.AllocatedBlocks != tc.wantAllocated {
+				t.Fatalf("AllocatedBlocks = %d, want %d", rep.AllocatedBlocks, tc.wantAllocated)
+			}
+			if !rep.OK() {
+				t.Fatalf("audit problems: %v", rep.Problems)
+			}
+			auditHeap(t, h2)
+		})
+	}
+}
+
+// TestMagazineLaneAdoption: a lane whose previous holder vanished without a
+// Close flush-back still carries manifest entries; the next thread on that
+// lane returns them to their sub-heaps before using the magazine.
+func TestMagazineLaneAdoption(t *testing.T) {
+	h := newMagHeap(t, magOptions())
+	th1, err := h.ThreadOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	laneI := th1.laneI
+	// A block allocated through the LOCKED path (class 5 is beyond the
+	// magazined classes) stays StatusAllocated on the device.
+	p, err := th1.Alloc(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th1.Close()
+
+	// Plant a manifest entry for it on the now-free lane, simulating a
+	// holder that died after a refill.
+	base := h.lay.laneManifestBase(laneI)
+	h.grant(h.sbThread)
+	if err := h.sbWin.WriteU64(base, plog.EncodeCacheEntry(p.Offset(), uint16(p.Subheap()))); err != nil {
+		t.Fatal(err)
+	}
+	h.revoke(h.sbThread)
+
+	th2, err := h.ThreadOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th2.Close()
+	if th2.laneI != laneI {
+		t.Fatalf("lane pool recycled lane %d, expected %d", th2.laneI, laneI)
+	}
+	if th2.mag == nil || th2.mag.disabled {
+		t.Fatalf("adopting thread's magazine is disabled")
+	}
+	// Adoption flushed the planted block back to its free list.
+	rep := checkHeap(t, h)
+	if rep.PendingCached != 0 || rep.AllocatedBlocks != 0 {
+		t.Fatalf("post-adoption audit: PendingCached = %d, AllocatedBlocks = %d",
+			rep.PendingCached, rep.AllocatedBlocks)
+	}
+	auditHeap(t, h)
+}
+
+// TestMagazineAdoptionDisablesOnCorruption: an uncleanable manifest word
+// latches the adopting thread's magazine off, leaves the evidence in place
+// for the audit, and the thread still works through the locked path.
+func TestMagazineAdoptionDisablesOnCorruption(t *testing.T) {
+	h := newMagHeap(t, magOptions())
+	th1, err := h.ThreadOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	laneI := th1.laneI
+	th1.Close()
+
+	base := h.lay.laneManifestBase(laneI)
+	h.grant(h.sbThread)
+	if err := h.sbWin.WriteU64(base, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	h.revoke(h.sbThread)
+
+	th2, err := h.ThreadOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th2.Close()
+	if th2.mag == nil || !th2.mag.disabled {
+		t.Fatalf("magazine not disabled over a corrupt manifest word")
+	}
+	p, err := th2.Alloc(64) // locked path still serves
+	if err != nil {
+		t.Fatalf("Alloc with disabled magazine: %v", err)
+	}
+	if err := th2.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if st := h.Stats(); st.MagazineHits != 0 {
+		t.Fatalf("MagazineHits = %d with disabled magazine, want 0", st.MagazineHits)
+	}
+	rep := checkHeap(t, h)
+	if rep.OK() {
+		t.Fatalf("audit did not flag the corrupt manifest word")
+	}
+}
+
+// TestMagazineGeometryTooBigDisables: an image provisioned with the default
+// manifest arena cannot host a larger-than-provisioned magazine geometry —
+// the heap opens fine with magazines off.
+func TestMagazineGeometryTooBigDisables(t *testing.T) {
+	h, err := Create(testOptions()) // provisions defaultMagSlots words/lane
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := h.Device()
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	big := testOptions()
+	big.Magazines = MagazineOptions{Capacity: 4096, Classes: 16} // 65536 > 512
+	h2, err := Load(dev, big)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if h2.magsOn {
+		t.Fatalf("magazines enabled beyond the provisioned manifest arena")
+	}
+	th, err := h2.ThreadOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Close()
+	if th.mag != nil {
+		t.Fatalf("thread got a magazine on a mags-off heap")
+	}
+	if _, err := th.Alloc(64); err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+}
+
+// TestMagazineEnableOnExistingImage: the default arena is provisioned even
+// when magazines are off, so reopening an old image with Magazines set
+// turns the feature on without a reformat.
+func TestMagazineEnableOnExistingImage(t *testing.T) {
+	h, err := Create(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := h.Device()
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Load(dev, magOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h2.magsOn {
+		t.Fatalf("magazines did not enable on reopen")
+	}
+	th, err := h2.ThreadOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Close()
+	if _, err := th.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+	if st := h2.Stats(); st.MagazineHits != 1 {
+		t.Fatalf("MagazineHits = %d, want 1", st.MagazineHits)
+	}
+	auditHeap(t, h2)
+}
+
+// TestClosedThreadAccessors is the regression test for the missing
+// closed-thread guard: every data accessor must fail with ErrClosed instead
+// of silently operating through the stale window.
+func TestClosedThreadAccessors(t *testing.T) {
+	h := newTestHeap(t)
+	th := newThread(t, h)
+	p, err := th.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Close()
+
+	buf := make([]byte, 8)
+	if err := th.Write(p, 0, buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Write on closed thread = %v, want ErrClosed", err)
+	}
+	if err := th.Read(p, 0, buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Read on closed thread = %v, want ErrClosed", err)
+	}
+	if err := th.WriteU64(p, 0, 7); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WriteU64 on closed thread = %v, want ErrClosed", err)
+	}
+	if _, err := th.ReadU64(p, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReadU64 on closed thread = %v, want ErrClosed", err)
+	}
+	if err := th.Persist(p, 0, buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Persist on closed thread = %v, want ErrClosed", err)
+	}
+	if err := th.Flush(p, 0, 8); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Flush on closed thread = %v, want ErrClosed", err)
+	}
+	if _, err := th.BlockSize(p); !errors.Is(err, ErrClosed) {
+		t.Fatalf("BlockSize on closed thread = %v, want ErrClosed", err)
+	}
+}

@@ -37,6 +37,11 @@ func (h *Heap) Metrics() *obs.Snapshot {
 		"remote_frees":         st.RemoteFrees,
 		"remote_drains":        st.RemoteDrains,
 		"ring_fallbacks":       st.RingFallbacks,
+		"magazine_hits":        st.MagazineHits,
+		"magazine_misses":      st.MagazineMisses,
+		"magazine_refills":     st.MagazineRefills,
+		"magazine_flushes":     st.MagazineFlushes,
+		"recovered_cached":     st.RecoveredCached,
 		"permission_switches":  st.PermissionSwitches,
 		"quarantined_subheaps": st.QuarantinedSubheaps,
 		"quarantined_bytes":    st.QuarantinedBytes,

@@ -7,6 +7,7 @@ import (
 	"poseidon/internal/memblock"
 	"poseidon/internal/nvm"
 	"poseidon/internal/obs"
+	"poseidon/internal/plog"
 )
 
 // Protection selects how the heap-metadata region is guarded.
@@ -81,6 +82,10 @@ type Options struct {
 	// in the InvalidFrees/DoubleFrees counters at drain time instead of
 	// as an error from Free. Default off.
 	RemoteFreeRings bool
+	// Magazines enables per-thread block magazines: lock-free alloc/free
+	// fast paths for small size classes backed by crash-reclaimable
+	// refill batches. See MagazineOptions. Zero value: disabled.
+	Magazines MagazineOptions
 	// DeviceStats enables flush/fence counters on the device.
 	DeviceStats bool
 	// Telemetry, when non-nil, wires the heap into the telemetry registry:
@@ -91,6 +96,36 @@ type Options struct {
 	Telemetry *obs.Telemetry
 }
 
+// MagazineOptions configures the opt-in per-thread block magazines. When
+// enabled, each Thread keeps a DRAM stack of pre-carved block offsets per
+// small size class: Alloc pops and Free pushes without taking the sub-heap
+// lock or touching device metadata. An empty class refills in one batched
+// undo transaction (Capacity/2 blocks, one lock acquisition, one
+// flush+fence for the whole batch); an overfull class flushes Capacity/2
+// blocks back the same way. Every cached block is recorded in a persistent
+// cache manifest next to the thread's micro-log lane, so a crash can never
+// leak a magazine — recovery returns surviving entries to their free lists
+// idempotently.
+//
+// The trade-off is a relaxed durability contract on magazined classes:
+// an individual Alloc or Free becomes durable at the thread's next
+// explicit sync point — Thread.SyncMagazines or Thread.Close — rather
+// than before the call returns. A crash in between replays a dropped
+// push as if the free never happened and rolls a not-yet-persisted pop
+// back at recovery — the same visibility hazard as a TxAlloc whose lane
+// never committed. Callers that need a specific allocation durable
+// immediately should call Thread.SyncMagazines after it.
+type MagazineOptions struct {
+	// Capacity is the per-class magazine depth in blocks. 0 disables
+	// magazines; otherwise it must be in [2, 4096] (refill and overflow
+	// move Capacity/2 blocks at a time).
+	Capacity int
+	// Classes is how many of the smallest size classes are magazined:
+	// class c holds blocks of 64<<c bytes. Defaults to 8 (64 B … 8 KiB)
+	// when Capacity > 0; capped at the sub-heap's class count.
+	Classes int
+}
+
 const (
 	defaultUserSize     = 64 << 20
 	defaultUndoLogSize  = 256 << 10
@@ -99,7 +134,26 @@ const (
 	defaultMprotectCost = 20000
 
 	minMetaSize = 1 << 20
+
+	defaultMagClasses  = 8
+	defaultMagCapacity = 64
+
+	// defaultMagSlots is the per-lane cache-manifest capacity every new
+	// image provisions (4 KiB per lane) even when magazines are off, so
+	// the feature can be enabled on an existing image by reopening it
+	// with Magazines set — no reformat needed.
+	defaultMagSlots = defaultMagClasses * defaultMagCapacity
 )
+
+// magSlots returns the per-lane manifest word count a new image should
+// provision for these options.
+func (o Options) magSlots() uint64 {
+	n := uint64(defaultMagSlots)
+	if need := uint64(o.Magazines.Classes) * uint64(o.Magazines.Capacity); need > n {
+		n = need
+	}
+	return n
+}
 
 func (o Options) withDefaults() Options {
 	if o.Subheaps == 0 {
@@ -131,6 +185,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MprotectCost == 0 {
 		o.MprotectCost = defaultMprotectCost
+	}
+	if o.Magazines.Capacity > 0 && o.Magazines.Classes == 0 {
+		o.Magazines.Classes = defaultMagClasses
 	}
 	if o.Telemetry != nil {
 		// Per-class attribution without the flat device counters would be
@@ -165,6 +222,18 @@ func (o Options) validate() error {
 	if o.RemoteFreeRings && o.SubheapUserSize-1 > memblock.MaxRingRel {
 		return fmt.Errorf("poseidon: sub-heap user size %d exceeds the remote-free ring's %d-bit offset",
 			o.SubheapUserSize, 44)
+	}
+	if o.Magazines.Capacity != 0 {
+		if o.Magazines.Capacity < 2 || o.Magazines.Capacity > 4096 {
+			return fmt.Errorf("poseidon: magazine capacity %d out of range [2, 4096]", o.Magazines.Capacity)
+		}
+		if o.Magazines.Classes < 1 || o.Magazines.Classes > 64 {
+			return fmt.Errorf("poseidon: magazine class count %d out of range [1, 64]", o.Magazines.Classes)
+		}
+		if o.SubheapUserSize-1 > plog.MaxCacheRel {
+			return fmt.Errorf("poseidon: sub-heap user size %d exceeds the cache manifest's 33-bit offset",
+				o.SubheapUserSize)
+		}
 	}
 	return nil
 }

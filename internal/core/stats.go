@@ -16,6 +16,11 @@ type subheapStats struct {
 	remoteFrees     atomic.Uint64
 	remoteDrains    atomic.Uint64
 	ringFallbacks   atomic.Uint64
+	magazineHits    atomic.Uint64
+	magazineMisses  atomic.Uint64
+	magazineRefills atomic.Uint64
+	magazineFlushes atomic.Uint64
+	recoveredCached atomic.Uint64
 }
 
 // HeapStats is an aggregated snapshot of allocator activity.
@@ -31,6 +36,11 @@ type HeapStats struct {
 	RemoteFrees        uint64 // cross-sub-heap frees enqueued on remote-free rings
 	RemoteDrains       uint64 // ring entries drained (owner batches + recovery replay)
 	RingFallbacks      uint64 // remote frees that found a full ring and took the locked path
+	MagazineHits       uint64 // allocs/frees served lock-free from a thread magazine
+	MagazineMisses     uint64 // magazine-eligible ops that fell back to the locked path
+	MagazineRefills    uint64 // batched magazine refill transactions
+	MagazineFlushes    uint64 // batched magazine flush-back transactions
+	RecoveredCached    uint64 // magazine-cached blocks returned to free lists at recovery
 	PermissionSwitches uint64 // WRPKRU executions (2 per guarded operation)
 	QuarantinedSubheaps uint64 // sub-heaps recovery took out of service
 	QuarantinedBytes    uint64 // user capacity lost to quarantine

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +53,17 @@ type subheap struct {
 	// under mu and paces the opportunistic drain.
 	ring     *memblock.Ring
 	localOps uint64
+
+	// freeMask is a DRAM bitmap of the classes whose free list is
+	// (probably) non-empty: bit c set means class c may hold a block, so
+	// the allocation find loop is one TrailingZeros64 instead of per-class
+	// device head reads. It over-approximates — bits are set eagerly at
+	// every free-list push and cleared lazily when a head proves empty —
+	// and is reseeded from the device after every undo replay, so it can
+	// never under-approximate (which would fake an out-of-memory).
+	// Guarded by mu. NumClasses never exceeds 48 (the pointer-offset
+	// bound), so 64 bits always suffice.
+	freeMask uint64
 
 	// quarantined marks a sub-heap taken out of service because its
 	// metadata failed recovery or audit (degrade-don't-die): allocations
@@ -168,7 +180,29 @@ func (s *subheap) recoverLogs() error {
 	if err := s.replayRingLocked(); err != nil {
 		return err
 	}
+	if err := s.reseedFreeMask(); err != nil {
+		return err
+	}
 	s.seedGauges()
+	return nil
+}
+
+// reseedFreeMask rebuilds the free-list nonempty bitmap from the
+// persistent heads. Caller holds mu with metadata rights on a ready
+// sub-heap.
+func (s *subheap) reseedFreeMask() error {
+	g := s.mgr.Geometry()
+	var mask uint64
+	for c := 0; c < g.NumClasses; c++ {
+		head, err := s.mgr.FreeHead(s.win, c)
+		if err != nil {
+			return err
+		}
+		if head != 0 {
+			mask |= 1 << uint(c)
+		}
+	}
+	s.freeMask = mask
 	return nil
 }
 
@@ -211,6 +245,9 @@ func (s *subheap) ensureReady() error {
 			if err := s.replayRingLocked(); err != nil {
 				return err
 			}
+		}
+		if err := s.reseedFreeMask(); err != nil {
+			return err
 		}
 		s.seedGauges()
 		return nil
@@ -277,6 +314,7 @@ func (s *subheap) format() error {
 	if err := s.win.PersistU64(s.base+shInitializedOff, 1); err != nil {
 		return err
 	}
+	s.freeMask = 1 << uint(g.MaxClass())
 	s.seedGauges()
 	// The ring region was zeroed above; open it for producers.
 	s.ring.Reset()
@@ -384,6 +422,76 @@ func (s *subheap) alloc(size uint64, lane *plog.MicroLog) (uint64, error) {
 	}
 }
 
+// carveOne stages the carve of one block of class `class` into s.batch:
+// find the smallest non-empty class ≥ class via the free mask, unlink its
+// head, split halves down to the requested class (each upper half becomes
+// a new free buddy, §5.2) and mark the block allocated. Returns the
+// block's device offset and the class it was carved from (for gauge
+// accounting). Nothing is committed; on error the caller must abort the
+// batch. The find phase stages no writes, so errNoFreeBlock leaves the
+// batch exactly as it was — refill relies on that to commit a partial
+// batch.
+func (s *subheap) carveOne(class int) (blockOff uint64, found int, err error) {
+	g := s.mgr.Geometry()
+	b := s.batch
+	// One TrailingZeros64 over the DRAM nonempty bitmap replaces the
+	// per-class device head reads. A set bit is verified against the real
+	// head (through the batch, so staged pushes and removals in a multi-
+	// carve refill are visible) and lazily cleared when the list proves
+	// empty.
+	var c int
+	var slot uint64
+	for {
+		m := s.freeMask &^ (uint64(1)<<uint(class) - 1)
+		if m == 0 {
+			return 0, 0, errNoFreeBlock
+		}
+		c = bits.TrailingZeros64(m)
+		head, herr := s.mgr.FreeHead(b, c)
+		if herr != nil {
+			return 0, 0, herr
+		}
+		if head != 0 {
+			slot = head
+			break
+		}
+		s.freeMask &^= 1 << uint(c)
+	}
+	found = c
+	rec, err := s.mgr.ReadRecord(b, slot)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := s.mgr.RemoveFree(b, c, slot); err != nil {
+		return 0, 0, err
+	}
+	blockOff = rec.BlockOff
+
+	for c > class {
+		c--
+		half := g.ClassSize(c)
+		buddyOff := blockOff + half
+		bslot, ierr := s.mgr.Insert(b, buddyOff, half, memblock.StatusFree)
+		if errors.Is(ierr, memblock.ErrNoSlot) {
+			return 0, 0, &noSlotError{key: buddyOff}
+		}
+		if ierr != nil {
+			return 0, 0, ierr
+		}
+		if err := s.mgr.PushFreeTail(b, c, bslot); err != nil {
+			return 0, 0, err
+		}
+		s.freeMask |= 1 << uint(c)
+	}
+	if err := s.mgr.SetSize(b, slot, g.ClassSize(class)); err != nil {
+		return 0, 0, err
+	}
+	if err := s.mgr.SetStatus(b, slot, memblock.StatusAllocated); err != nil {
+		return 0, 0, err
+	}
+	return blockOff, found, nil
+}
+
 // tryAlloc is one allocation attempt inside a single failure-atomic batch.
 func (s *subheap) tryAlloc(class int, lane *plog.MicroLog) (blockOff uint64, err error) {
 	g := s.mgr.Geometry()
@@ -395,53 +503,8 @@ func (s *subheap) tryAlloc(class int, lane *plog.MicroLog) (blockOff uint64, err
 		}
 	}()
 
-	// Find the smallest non-empty class ≥ class.
-	c := class
-	var slot uint64
-	for ; c < g.NumClasses; c++ {
-		head, herr := s.mgr.FreeHead(b, c)
-		if herr != nil {
-			return 0, herr
-		}
-		if head != 0 {
-			slot = head
-			break
-		}
-	}
-	if slot == 0 {
-		return 0, errNoFreeBlock
-	}
-	found := c
-	rec, err := s.mgr.ReadRecord(b, slot)
+	blockOff, found, err := s.carveOne(class)
 	if err != nil {
-		return 0, err
-	}
-	if err := s.mgr.RemoveFree(b, c, slot); err != nil {
-		return 0, err
-	}
-	blockOff = rec.BlockOff
-
-	// Split halves until the block matches the requested class; each upper
-	// half becomes a new free buddy (§5.2).
-	for c > class {
-		c--
-		half := g.ClassSize(c)
-		buddyOff := blockOff + half
-		bslot, ierr := s.mgr.Insert(b, buddyOff, half, memblock.StatusFree)
-		if errors.Is(ierr, memblock.ErrNoSlot) {
-			return 0, &noSlotError{key: buddyOff}
-		}
-		if ierr != nil {
-			return 0, ierr
-		}
-		if err := s.mgr.PushFreeTail(b, c, bslot); err != nil {
-			return 0, err
-		}
-	}
-	if err := s.mgr.SetSize(b, slot, g.ClassSize(class)); err != nil {
-		return 0, err
-	}
-	if err := s.mgr.SetStatus(b, slot, memblock.StatusAllocated); err != nil {
 		return 0, err
 	}
 
@@ -459,6 +522,7 @@ func (s *subheap) tryAlloc(class int, lane *plog.MicroLog) (blockOff uint64, err
 		if rerr := s.undo.Replay(); rerr != nil {
 			return 0, fmt.Errorf("poseidon: rollback after failed commit: %w", rerr)
 		}
+		_ = s.reseedFreeMask()
 		if errors.Is(cerr, plog.ErrLogFull) {
 			return 0, ErrTxTooLarge
 		}
@@ -545,8 +609,10 @@ func (s *subheap) freeLocked(blockOff uint64) error {
 		if rerr := s.undo.Replay(); rerr != nil {
 			return fmt.Errorf("poseidon: rollback after failed commit: %w", rerr)
 		}
+		_ = s.reseedFreeMask()
 		return err
 	}
+	s.freeMask |= 1 << uint(class)
 	s.stats.frees.Add(1)
 	if s.gauge != nil {
 		s.gauge.allocBlocks.Add(-1)
@@ -775,6 +841,292 @@ func (s *subheap) timeDrain() func() {
 	}
 }
 
+// refillMagazine carves up to want blocks of class `class` for a thread
+// magazine: one lock acquisition, one undo transaction for the whole
+// batch, and — inside the commit hook, after the undo snapshot is sealed
+// but before it truncates — one persistent manifest entry per block with
+// a single flush+fence for all of them. That ordering is the crash-leak
+// argument: by the time the undo log lets go of the carve, every carved
+// block is durably named in the manifest, so recovery either rolls the
+// carve back (crash before commit) or finds the entries and returns the
+// blocks to their free lists (crash after).
+//
+// Entries land at manifest words man.WordOff(slot0)…; the caller owns
+// that window exclusively. Under space pressure a partial batch (fewer
+// than want, at least one) commits; with nothing carvable the underlying
+// errNoFreeBlock surfaces so the caller can fall back to the full
+// pressure loop of alloc. An undo log too small for the batch halves
+// want and retries.
+func (s *subheap) refillMagazine(class, want int, man plog.Manifest, slot0 uint64) ([]uint64, error) {
+	if s.isQuarantined() {
+		return nil, fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.qreason)
+	}
+	s.mu.Lock()
+	s.h.grant(s.thread)
+	defer func() {
+		s.h.revoke(s.thread)
+		s.mu.Unlock()
+	}()
+	if err := s.ensureReady(); err != nil {
+		return nil, err
+	}
+	s.setClass(nvm.ClassAlloc)
+	if err := s.maybeDrainLocked(); err != nil {
+		return nil, err
+	}
+	done := s.timeRefill()
+	defer done()
+	g := s.mgr.Geometry()
+	// Same pressure-recovery ladder as the alloc slow path: hash-table
+	// pressure defragments the probe window then extends the table; space
+	// pressure drains the remote ring then merges free lists. stageCarves
+	// aborts its batch before surfacing either, so the recovery ops run on
+	// a clean slate.
+	var defraggedList, defraggedProbe, extended, drainedRing bool
+	for {
+		blocks, founds, err := s.stageCarves(class, want)
+		if err != nil {
+			var ns *noSlotError
+			switch {
+			case errors.As(err, &ns):
+				if !defraggedProbe {
+					defraggedProbe = true
+					if _, derr := s.defragProbeWindow(ns.key); derr != nil {
+						return nil, derr
+					}
+					continue
+				}
+				if !extended {
+					extended = true
+					if eerr := s.extendLevel(); eerr != nil {
+						if errors.Is(eerr, memblock.ErrTableFull) {
+							return nil, fmt.Errorf("%w: metadata table full", ErrOutOfMemory)
+						}
+						return nil, eerr
+					}
+					continue
+				}
+				return nil, fmt.Errorf("%w: metadata table full", ErrOutOfMemory)
+			case errors.Is(err, errNoFreeBlock):
+				if !drainedRing {
+					drainedRing = true
+					n, derr := s.drainRingLocked(0)
+					if derr != nil {
+						return nil, derr
+					}
+					if n > 0 {
+						continue
+					}
+				}
+				if !defraggedList {
+					defraggedList = true
+					progress, derr := s.defragFreeLists(class)
+					if derr != nil {
+						return nil, derr
+					}
+					if progress {
+						continue
+					}
+				}
+				return nil, fmt.Errorf("%w: magazine refill of class %d", ErrOutOfMemory, class)
+			default:
+				return nil, err
+			}
+		}
+		hook := func() error {
+			for i, off := range blocks {
+				word := plog.EncodeCacheEntry(off-g.UserBase, uint16(s.id))
+				if werr := s.win.WriteU64(man.WordOff(slot0+uint64(i)), word); werr != nil {
+					return werr
+				}
+			}
+			if ferr := s.win.Flush(man.WordOff(slot0), uint64(len(blocks))*8); ferr != nil {
+				return ferr
+			}
+			s.win.Fence()
+			return nil
+		}
+		if cerr := s.batch.CommitWith(hook); cerr != nil {
+			s.batch.Abort()
+			if rerr := s.undo.Replay(); rerr != nil {
+				return nil, fmt.Errorf("poseidon: rollback after failed refill: %w", rerr)
+			}
+			_ = s.reseedFreeMask()
+			if errors.Is(cerr, plog.ErrLogFull) && want > 1 {
+				want /= 2
+				continue
+			}
+			return nil, cerr
+		}
+		s.stats.magazineRefills.Add(1)
+		if s.gauge != nil {
+			size := int64(g.ClassSize(class))
+			for i := range blocks {
+				s.gauge.allocBlocks.Add(1)
+				s.gauge.allocBytes.Add(size)
+				s.gauge.freeByClass[founds[i]].Add(-1)
+				for cc := class; cc < founds[i]; cc++ {
+					s.gauge.freeByClass[cc].Add(1)
+				}
+			}
+		}
+		return blocks, nil
+	}
+}
+
+// stageCarves stages up to want carves of class `class` into s.batch.
+// Space pressure after at least one successful carve truncates the batch
+// there (the find phase stages nothing, so the batch is commit-clean);
+// any other error — including hash-table pressure mid-split, which leaves
+// a half-staged carve — aborts the whole batch and surfaces.
+func (s *subheap) stageCarves(class, want int) (blocks []uint64, founds []int, err error) {
+	for i := 0; i < want; i++ {
+		off, found, cerr := s.carveOne(class)
+		if cerr != nil {
+			if errors.Is(cerr, errNoFreeBlock) && len(blocks) > 0 {
+				break
+			}
+			s.batch.Abort()
+			return nil, nil, cerr
+		}
+		blocks = append(blocks, off)
+		founds = append(founds, found)
+	}
+	return blocks, founds, nil
+}
+
+// flushCached returns magazine-cached blocks to their free lists: one
+// lock acquisition, one undo transaction for the whole batch (overflow,
+// thread close, lane-manifest adoption). Entries whose block is unknown
+// or already free are skipped as idempotent no-ops feeding the counters —
+// exactly the states a crashed predecessor can leave behind.
+//
+// The given manifest words are cleared (and the clears flushed + fenced)
+// after the commit, while the sub-heap lock is still held. The ordering
+// is load-bearing twice over. Clears must come after the undo log
+// truncates: a crash mid-commit replays the undo log and un-frees the
+// blocks, so their entries must still exist or the blocks would leak. And
+// they must complete before the lock is released: the commit puts the
+// blocks back on free lists, so a clear after unlock would race a
+// re-allocation — a crash in that window would make recovery's manifest
+// replay free a block some other thread just carved. A crash between
+// commit and clears leaves stale entries whose replay is an idempotent
+// no-op (the blocks are durably free). Returns how many blocks were
+// freed.
+func (s *subheap) flushCached(devOffs []uint64, man plog.Manifest, words []uint64) (int, error) {
+	if s.isQuarantined() {
+		return 0, fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.qreason)
+	}
+	s.mu.Lock()
+	s.h.grant(s.thread)
+	defer func() {
+		s.h.revoke(s.thread)
+		s.mu.Unlock()
+	}()
+	if err := s.ensureReady(); err != nil {
+		return 0, err
+	}
+	s.setClass(nvm.ClassFree)
+	g := s.mgr.Geometry()
+	b := s.batch
+	type freedBlock struct {
+		class int
+		size  uint64
+	}
+	var freed []freedBlock
+	for _, dev := range devOffs {
+		slot, err := s.mgr.Lookup(s.win, dev)
+		if errors.Is(err, memblock.ErrNotFound) {
+			s.stats.invalidFrees.Add(1)
+			continue
+		}
+		if err != nil {
+			b.Abort()
+			return 0, err
+		}
+		rec, err := s.mgr.ReadRecord(s.win, slot)
+		if err != nil {
+			b.Abort()
+			return 0, err
+		}
+		if rec.Status == memblock.StatusFree {
+			s.stats.doubleFrees.Add(1)
+			continue
+		}
+		class, err := g.ClassOf(rec.Size)
+		if err != nil {
+			b.Abort()
+			return 0, fmt.Errorf("%w: record size %d", ErrCorruptHeap, rec.Size)
+		}
+		if err := s.mgr.PushFreeTail(b, class, slot); err != nil {
+			b.Abort()
+			return 0, err
+		}
+		s.freeMask |= 1 << uint(class)
+		freed = append(freed, freedBlock{class: class, size: rec.Size})
+	}
+	if len(freed) > 0 {
+		if err := b.Commit(); err != nil {
+			b.Abort()
+			if rerr := s.undo.Replay(); rerr != nil {
+				return 0, fmt.Errorf("poseidon: rollback after failed flush-back: %w", rerr)
+			}
+			_ = s.reseedFreeMask()
+			return 0, err
+		}
+		s.stats.magazineFlushes.Add(1)
+		if s.gauge != nil {
+			for _, f := range freed {
+				s.gauge.allocBlocks.Add(-1)
+				s.gauge.allocBytes.Add(-int64(f.size))
+				s.gauge.freeByClass[f.class].Add(1)
+			}
+		}
+	} else {
+		b.Abort()
+	}
+	if len(words) > 0 {
+		lo, hi := words[0], words[0]
+		for _, w := range words {
+			if err := s.win.WriteU64(man.WordOff(w), 0); err != nil {
+				return len(freed), err
+			}
+			if w < lo {
+				lo = w
+			}
+			if w > hi {
+				hi = w
+			}
+		}
+		// One flush over the covering range: persisting unrelated words in
+		// between is harmless (their content is either already durable or
+		// pending under the relaxed contract, where early durability is
+		// always safe).
+		if err := s.win.Flush(man.WordOff(lo), (hi-lo+1)*8); err != nil {
+			return len(freed), err
+		}
+		s.win.Fence()
+	}
+	return len(freed), nil
+}
+
+// timeRefill retags device traffic as ClassAlloc (a refill is the
+// deferred half of magazine allocs) and returns a closure that restores
+// the previous class and records the batch in the refill latency
+// histogram. A no-op (returning a no-op) without telemetry.
+func (s *subheap) timeRefill() func() {
+	if s.h.tel == nil {
+		return func() {}
+	}
+	start := time.Now()
+	prev := s.rec.Class()
+	s.rec.SetClass(nvm.ClassAlloc)
+	return func() {
+		s.rec.SetClass(prev)
+		s.h.tel.RecordOn(s.id, obs.OpRefill, time.Since(start))
+	}
+}
+
 // mergeBuddy coalesces the free block recorded at slot with its buddy if
 // the buddy is also free and the same size. One merge is one failure-atomic
 // batch. Returns whether a merge happened.
@@ -841,8 +1193,10 @@ func (s *subheap) mergeBuddy(slot uint64) (bool, error) {
 		if rerr := s.undo.Replay(); rerr != nil {
 			return false, fmt.Errorf("poseidon: rollback after failed merge: %w", rerr)
 		}
+		_ = s.reseedFreeMask()
 		return false, err
 	}
+	s.freeMask |= 1 << uint(class+1)
 	s.stats.defragMerges.Add(1)
 	if s.gauge != nil {
 		s.gauge.freeByClass[class].Add(-2)
@@ -961,6 +1315,7 @@ func (s *subheap) extendLevel() error {
 		if rerr := s.undo.Replay(); rerr != nil {
 			return fmt.Errorf("poseidon: rollback after failed extend: %w", rerr)
 		}
+		_ = s.reseedFreeMask()
 		return err
 	}
 	return nil

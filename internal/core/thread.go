@@ -32,6 +32,11 @@ type Thread struct {
 	// retagging is race-free.
 	rec *nvm.AttrRecorder
 
+	// mag is the thread's block magazine (nil without Options.Magazines):
+	// the lock-free alloc/free fast path, persistently shadowed by the
+	// cache manifest adjacent to this lane. See magazine.go.
+	mag *magazine
+
 	closed bool
 }
 
@@ -74,15 +79,27 @@ func (h *Heap) ThreadOn(shard int) (*Thread, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Thread{h: h, shard: shard, lane: lane, laneI: laneI, pkru: pkru, win: win, rec: rec}, nil
+	t := &Thread{h: h, shard: shard, lane: lane, laneI: laneI, pkru: pkru, win: win, rec: rec}
+	if h.magsOn && !h.rawAttach {
+		t.mag = newMagazine(h.magClasses, h.magCap,
+			plog.NewManifest(h.lay.laneManifestBase(laneI), h.lay.magSlots))
+		// A previous holder of this lane may have vanished without its
+		// Close flush-back; clean (or disable on) whatever it left.
+		t.magAdopt()
+	}
+	return t, nil
 }
 
-// Close releases the thread's micro-log lane. An open (uncommitted)
-// transaction stays logged and is rolled back at the next heap load.
+// Close releases the thread's micro-log lane, flushing any magazine-cached
+// blocks back to the sub-heap first (best-effort: on failure the blocks
+// stay durably recorded in the cache manifest and the next Load — or the
+// lane's next adopter — reclaims them). An open (uncommitted) transaction
+// stays logged and is rolled back at the next heap load.
 func (t *Thread) Close() {
 	if t.closed {
 		return
 	}
+	_ = t.magSyncAll()
 	t.closed = true
 	t.h.laneMu.Lock()
 	t.h.freeLanes = append(t.h.freeLanes, t.laneI)
@@ -127,6 +144,11 @@ func (t *Thread) Alloc(size uint64) (NVMPtr, error) {
 func (t *Thread) alloc(size uint64) (NVMPtr, error) {
 	if err := t.check(); err != nil {
 		return NVMPtr{}, err
+	}
+	// Magazine fast path: pop a pre-carved block — no lock, no flush, no
+	// device metadata read. Falls through on any miss.
+	if p, ok := t.magAlloc(size); ok {
+		return p, nil
 	}
 	shard, err := t.allocShard()
 	if err != nil {
@@ -238,12 +260,17 @@ func (t *Thread) free(p NVMPtr) error {
 	if err := t.check(); err != nil {
 		return err
 	}
-	dev, err := t.h.RawOffset(p)
+	s, dev, err := t.h.resolve(p)
 	if err != nil {
 		return err
 	}
-	s := t.h.subheaps[p.Subheap()]
-	if int(p.Subheap()) != t.shard {
+	// Magazine fast path: a same-shard block this magazine popped goes
+	// back on its class stack — no lock, no flush. Also rejects this
+	// thread's own double free of a still-cached block.
+	if handled, err := t.magFree(p); handled {
+		return err
+	}
+	if s.id != t.shard {
 		if handled, err := s.remoteFree(t, dev); handled {
 			return err
 		}
@@ -256,11 +283,11 @@ func (t *Thread) BlockSize(p NVMPtr) (uint64, error) {
 	if err := t.check(); err != nil {
 		return 0, err
 	}
-	dev, err := t.h.RawOffset(p)
+	s, dev, err := t.h.resolve(p)
 	if err != nil {
 		return 0, err
 	}
-	return t.h.subheaps[p.Subheap()].blockSize(dev)
+	return s.blockSize(dev)
 }
 
 // Window returns the thread's protection-checked device view for user-data
@@ -268,11 +295,23 @@ func (t *Thread) BlockSize(p NVMPtr) (uint64, error) {
 // *mpk.ProtectionError — the paper's headline safety property.
 func (t *Thread) Window() mpk.Window { return t.win }
 
+// access is the shared prologue of the data accessors below: the
+// closed-thread guard (Write on a closed Thread must fail like Alloc and
+// Free do, not silently succeed through a stale window) plus a single
+// pointer decode.
+func (t *Thread) access(p NVMPtr) (uint64, error) {
+	if err := t.check(); err != nil {
+		return 0, err
+	}
+	_, dev, err := t.h.resolve(p)
+	return dev, err
+}
+
 // Write stores b into the block at p starting at byte off. The store goes
 // through the thread's MPK window: in-bounds stores land in the user
 // region; overflowing into metadata faults.
 func (t *Thread) Write(p NVMPtr, off uint64, b []byte) error {
-	dev, err := t.h.RawOffset(p)
+	dev, err := t.access(p)
 	if err != nil {
 		return err
 	}
@@ -281,7 +320,7 @@ func (t *Thread) Write(p NVMPtr, off uint64, b []byte) error {
 
 // Read loads len(b) bytes from the block at p starting at byte off.
 func (t *Thread) Read(p NVMPtr, off uint64, b []byte) error {
-	dev, err := t.h.RawOffset(p)
+	dev, err := t.access(p)
 	if err != nil {
 		return err
 	}
@@ -290,7 +329,7 @@ func (t *Thread) Read(p NVMPtr, off uint64, b []byte) error {
 
 // WriteU64 stores an 8-byte word into the block at p.
 func (t *Thread) WriteU64(p NVMPtr, off uint64, v uint64) error {
-	dev, err := t.h.RawOffset(p)
+	dev, err := t.access(p)
 	if err != nil {
 		return err
 	}
@@ -299,7 +338,7 @@ func (t *Thread) WriteU64(p NVMPtr, off uint64, v uint64) error {
 
 // ReadU64 loads an 8-byte word from the block at p.
 func (t *Thread) ReadU64(p NVMPtr, off uint64) (uint64, error) {
-	dev, err := t.h.RawOffset(p)
+	dev, err := t.access(p)
 	if err != nil {
 		return 0, err
 	}
@@ -308,7 +347,7 @@ func (t *Thread) ReadU64(p NVMPtr, off uint64) (uint64, error) {
 
 // Persist writes b into the block at p and makes it durable.
 func (t *Thread) Persist(p NVMPtr, off uint64, b []byte) error {
-	dev, err := t.h.RawOffset(p)
+	dev, err := t.access(p)
 	if err != nil {
 		return err
 	}
@@ -317,7 +356,7 @@ func (t *Thread) Persist(p NVMPtr, off uint64, b []byte) error {
 
 // Flush makes [off, off+n) of the block at p durable.
 func (t *Thread) Flush(p NVMPtr, off, n uint64) error {
-	dev, err := t.h.RawOffset(p)
+	dev, err := t.access(p)
 	if err != nil {
 		return err
 	}

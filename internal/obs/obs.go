@@ -27,6 +27,7 @@ const (
 	OpTxFree // recovery rollback free of an uncommitted tx allocation
 	OpDefrag
 	OpDrain    // batched remote-free ring drain by the owning sub-heap
+	OpRefill   // batched magazine refill carve by the owning sub-heap
 	OpRecovery // log replay + lane rollback during Load
 	OpLoad     // whole Load call
 	OpScrub    // ScrubOnLoad audit
@@ -34,7 +35,7 @@ const (
 )
 
 var opNames = [NumOps]string{
-	"alloc", "free", "txalloc", "txfree", "defrag", "drain", "recovery", "load", "scrub",
+	"alloc", "free", "txalloc", "txfree", "defrag", "drain", "refill", "recovery", "load", "scrub",
 }
 
 func (o Op) String() string {
@@ -49,10 +50,12 @@ func (o Op) String() string {
 // (NumClasses sentinel): its window is the union of recovery and scrub, and
 // counting it would double-charge those classes' ratios. OpDrain likewise:
 // ring-drain device traffic is deliberately charged to ClassFree (a drain
-// IS the deferred half of frees), which OpFree already explains.
+// IS the deferred half of frees), which OpFree already explains. OpRefill
+// follows the same rule on the alloc side: refill traffic is charged to
+// ClassAlloc, which OpAlloc already explains.
 var attrClassOf = [NumOps]nvm.OpClass{
 	nvm.ClassAlloc, nvm.ClassFree, nvm.ClassTxAlloc, nvm.ClassTxFree,
-	nvm.ClassDefrag, nvm.NumClasses, nvm.ClassRecovery, nvm.NumClasses, nvm.ClassScrub,
+	nvm.ClassDefrag, nvm.NumClasses, nvm.NumClasses, nvm.ClassRecovery, nvm.NumClasses, nvm.ClassScrub,
 }
 
 // Options configures a Telemetry instance.

@@ -1,0 +1,55 @@
+package plog
+
+import "testing"
+
+func TestCacheEntryRoundTrip(t *testing.T) {
+	cases := []struct {
+		rel   uint64
+		shard uint16
+	}{
+		{0, 0}, {1, 1}, {64, 3}, {MaxCacheRel, 65535}, {1 << 20, 7},
+	}
+	for _, c := range cases {
+		word := EncodeCacheEntry(c.rel, c.shard)
+		if word == 0 {
+			t.Fatalf("Encode(%d, %d) = 0; zero must mean empty", c.rel, c.shard)
+		}
+		rel, shard, ok := DecodeCacheEntry(word)
+		if !ok || rel != c.rel || shard != c.shard {
+			t.Fatalf("Decode(Encode(%d, %d)) = (%d, %d, %v)", c.rel, c.shard, rel, shard, ok)
+		}
+	}
+}
+
+func TestCacheEntryZeroInvalid(t *testing.T) {
+	if _, _, ok := DecodeCacheEntry(0); ok {
+		t.Fatal("zero word decoded as valid")
+	}
+}
+
+func TestCacheEntryBitFlipDetected(t *testing.T) {
+	word := EncodeCacheEntry(12345, 9)
+	for bit := 0; bit < 64; bit++ {
+		flipped := word ^ 1<<uint(bit)
+		if flipped == 0 {
+			continue
+		}
+		rel, shard, ok := DecodeCacheEntry(flipped)
+		if ok && rel == 12345 && shard == 9 {
+			t.Fatalf("bit %d flip not detected", bit)
+		}
+	}
+}
+
+func TestManifestGeometry(t *testing.T) {
+	m := NewManifest(4096, 512)
+	if m.Slots() != 512 {
+		t.Fatalf("Slots = %d", m.Slots())
+	}
+	if got := m.WordOff(0); got != 4096 {
+		t.Fatalf("WordOff(0) = %d", got)
+	}
+	if got := m.WordOff(10); got != 4096+80 {
+		t.Fatalf("WordOff(10) = %d", got)
+	}
+}

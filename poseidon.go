@@ -56,6 +56,11 @@ type (
 	HeapStats = core.HeapStats
 	// Protection selects the metadata guard (MPK, none, mprotect-cost).
 	Protection = core.Protection
+	// MagazineOptions configures the opt-in per-thread block magazines
+	// (Options.Magazines): lock-free, flush-free alloc/free fast paths for
+	// small objects with crash-reclaimable refill batches. See
+	// Thread.SyncMagazines for the durability contract.
+	MagazineOptions = core.MagazineOptions
 	// Telemetry is the observability registry: pass one in
 	// Options.Telemetry to get latency histograms, per-class device-traffic
 	// attribution, per-sub-heap gauges and the event journal. See
