@@ -6,9 +6,16 @@
 //
 //	poseidon-fsck heap.img          # audit after recovery (the normal view)
 //	poseidon-fsck -raw heap.img     # audit the image as-is, skipping recovery
-//	poseidon-fsck -json heap.img    # machine-readable CheckReport
+//	poseidon-fsck -json heap.img    # machine-readable report
+//	poseidon-fsck -repair heap.img  # repair quarantined sub-heaps in place
 //
-// Exit status: 0 clean, 1 problems found, 2 usage/load error.
+// -repair implies -scrub: the image is loaded with the full audit, every
+// quarantined sub-heap is repaired (mirror restore, else rebuild by table
+// walk), the heap is re-audited, and the repaired image is saved back to
+// the same path.
+//
+// Exit status: 0 clean, 1 problems found, 2 usage/load error, 3 degraded
+// (in-service sub-heaps are consistent but capacity is quarantined).
 package main
 
 import (
@@ -21,12 +28,22 @@ import (
 	"poseidon/internal/nvm"
 )
 
+// report is the JSON envelope: the raw CheckReport plus the classified
+// status ("clean" | "degraded" | "problems") matching the exit code, and
+// how many sub-heaps -repair returned to service.
+type report struct {
+	Status   string
+	Repaired int `json:",omitempty"`
+	Report   core.CheckReport
+}
+
 func main() {
 	raw := flag.Bool("raw", false, "audit without running recovery first")
 	scrub := flag.Bool("scrub", false, "run the full metadata audit during recovery, quarantining failed sub-heaps")
-	asJSON := flag.Bool("json", false, "emit the CheckReport as JSON")
+	repair := flag.Bool("repair", false, "repair quarantined sub-heaps and save the image back (implies -scrub)")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: poseidon-fsck [-raw] [-scrub] [-json] <heap-image>")
+		fmt.Fprintln(os.Stderr, "usage: poseidon-fsck [-raw] [-scrub] [-repair] [-json] <heap-image>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -34,68 +51,105 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	report, err := run(flag.Arg(0), *raw, *scrub)
+	if *raw && *repair {
+		fmt.Fprintln(os.Stderr, "poseidon-fsck: -raw and -repair are mutually exclusive")
+		os.Exit(2)
+	}
+	rep, err := run(flag.Arg(0), *raw, *scrub, *repair)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "poseidon-fsck:", err)
 		os.Exit(2)
 	}
+	code := 0
+	switch {
+	case !rep.Report.OK():
+		rep.Status = "problems"
+		code = 1
+	case rep.Report.Quarantined > 0:
+		rep.Status = "degraded"
+		code = 3
+	default:
+		rep.Status = "clean"
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
+		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintln(os.Stderr, "poseidon-fsck:", err)
 			os.Exit(2)
 		}
-		if !report.OK() {
-			os.Exit(1)
-		}
-		return
+		os.Exit(code)
 	}
-	fmt.Printf("sub-heaps: %d (%d formatted)\n", report.Subheaps, report.Formatted)
-	fmt.Printf("blocks:    %d allocated, %d free\n", report.AllocatedBlocks, report.FreeBlocks)
-	if report.Quarantined > 0 {
+	printReport(rep)
+	os.Exit(code)
+}
+
+func printReport(rep report) {
+	r := rep.Report
+	fmt.Printf("sub-heaps: %d (%d formatted)\n", r.Subheaps, r.Formatted)
+	fmt.Printf("blocks:    %d allocated, %d free\n", r.AllocatedBlocks, r.FreeBlocks)
+	if rep.Repaired > 0 {
+		fmt.Printf("repaired:  %d sub-heaps returned to service\n", rep.Repaired)
+	}
+	if r.Quarantined > 0 {
 		fmt.Printf("QUARANTINED: %d sub-heaps (%d bytes of capacity out of service)\n",
-			report.Quarantined, report.QuarantinedBytes)
-		for _, sr := range report.SubheapReports {
+			r.Quarantined, r.QuarantinedBytes)
+		for _, sr := range r.SubheapReports {
 			if sr.Quarantined {
 				fmt.Printf("  - sub-heap %d: %s\n", sr.ID, sr.QuarantineReason)
 			}
 		}
 	}
-	if report.PendingUndo > 0 {
-		fmt.Printf("pending:   %d undo-log entries (interrupted operation; recovery will revert it)\n", report.PendingUndo)
+	if r.PendingUndo > 0 {
+		fmt.Printf("pending:   %d undo-log entries (interrupted operation; recovery will revert it)\n", r.PendingUndo)
 	}
-	if report.PendingTx > 0 {
-		fmt.Printf("pending:   %d micro-log entries (open transactions; recovery will roll them back)\n", report.PendingTx)
+	if r.PendingTx > 0 {
+		fmt.Printf("pending:   %d micro-log entries (open transactions; recovery will roll them back)\n", r.PendingTx)
 	}
-	if report.OK() {
-		if report.Healthy() {
+	if r.OK() {
+		if r.Healthy() {
 			fmt.Println("heap is consistent")
 		} else {
 			fmt.Println("in-service sub-heaps are consistent (degraded: quarantined capacity above)")
 		}
 		return
 	}
-	fmt.Printf("%d PROBLEMS:\n", len(report.Problems))
-	for _, p := range report.Problems {
+	fmt.Printf("%d PROBLEMS:\n", len(r.Problems))
+	for _, p := range r.Problems {
 		fmt.Println("  -", p)
 	}
-	os.Exit(1)
 }
 
-func run(path string, raw, scrub bool) (core.CheckReport, error) {
+func run(path string, raw, scrub, repair bool) (report, error) {
 	dev, err := nvm.LoadFile(path, nvm.Options{})
 	if err != nil {
-		return core.CheckReport{}, err
+		return report{}, err
 	}
 	var h *core.Heap
 	if raw {
 		h, err = core.Attach(dev, core.Options{})
 	} else {
-		h, err = core.Load(dev, core.Options{ScrubOnLoad: scrub})
+		h, err = core.Load(dev, core.Options{ScrubOnLoad: scrub || repair})
 	}
 	if err != nil {
-		return core.CheckReport{}, err
+		return report{}, err
 	}
-	return h.Check()
+	var rep report
+	if repair {
+		n, rerr := h.RepairAll()
+		rep.Repaired = n
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "poseidon-fsck: repair:", rerr)
+		}
+	}
+	rep.Report, err = h.Check()
+	if err != nil {
+		return rep, err
+	}
+	if repair && rep.Repaired > 0 {
+		if err := h.SaveFile(path); err != nil {
+			return rep, fmt.Errorf("saving repaired image: %w", err)
+		}
+	}
+	return rep, nil
 }

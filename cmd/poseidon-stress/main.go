@@ -35,6 +35,7 @@ func run() error {
 		ops     = flag.Int("ops", 3000, "operations per worker per cycle")
 		seed    = flag.Int64("seed", 1, "randomness seed")
 		metrics = flag.String("metrics", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. :9120; empty = off)")
+		save    = flag.String("save", "", "save the final heap image to this path (e.g. for a poseidon-fsck audit)")
 	)
 	flag.Parse()
 
@@ -55,6 +56,17 @@ func run() error {
 	// endpoint snapshots whichever heap is current.
 	var cur atomic.Pointer[core.Heap]
 	cur.Store(h)
+	if *save != "" {
+		// Saved on every exit path — a failing run leaves the image behind
+		// for a poseidon-fsck post-mortem.
+		defer func() {
+			if err := cur.Load().SaveFile(*save); err != nil {
+				fmt.Fprintln(os.Stderr, "poseidon-stress: saving image:", err)
+			} else {
+				fmt.Printf("saved: %s\n", *save)
+			}
+		}()
+	}
 	if *metrics != "" {
 		srv, err := obs.Serve(*metrics, func() *obs.Snapshot { return cur.Load().Metrics() })
 		if err != nil {

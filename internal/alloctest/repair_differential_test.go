@@ -1,0 +1,245 @@
+package alloctest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"poseidon/internal/core"
+	"poseidon/internal/nvm"
+)
+
+// The differential repair test runs the same deterministic concurrent
+// schedule against two heaps: heap A suffers a media bit flip, a crash, a
+// quarantine-on-load and a repair; heap B never sees corruption. A repaired
+// sub-heap must then be behaviorally indistinguishable: the same per-op
+// outcomes, the same surviving payloads, the same live-block census. The
+// fingerprint is deliberately order- and address-INSENSITIVE — repair
+// rethreads free lists by offset, so block addresses may legitimately
+// differ; what may not differ is anything a correct program can observe.
+
+func repairDiffOptions() core.Options {
+	return core.Options{
+		Subheaps:        4,
+		SubheapUserSize: 1 << 20,
+		SubheapMetaSize: 256 << 10,
+		UndoLogSize:     64 << 10,
+		MaxThreads:      16,
+		HeapID:          0xD1FF,
+		CrashTracking:   true,
+		ScrubOnLoad:     true,
+	}
+}
+
+// diffBlock is one live allocation and the payload it must preserve.
+type diffBlock struct {
+	p   core.NVMPtr
+	pat []byte
+}
+
+// diffSchedule drives one worker's deterministic schedule on its pinned
+// shard: first verify and free every block inherited from the previous
+// phase, then run a seeded alloc/write/verify/free mix. It returns the
+// op-outcome trace (the behavioral fingerprint) and the blocks left live.
+func diffSchedule(h *core.Heap, w, phase, ops int, inherit []diffBlock) ([]string, []diffBlock, error) {
+	th, err := h.ThreadOn(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer th.Close()
+	var trace []string
+	for i, blk := range inherit {
+		got := make([]byte, len(blk.pat))
+		if err := th.Read(blk.p, 0, got); err != nil {
+			return nil, nil, fmt.Errorf("worker %d: inherited block %d: %w", w, i, err)
+		}
+		if !bytes.Equal(got, blk.pat) {
+			return nil, nil, fmt.Errorf("worker %d: inherited block %d payload corrupted", w, i)
+		}
+		if err := th.Free(blk.p); err != nil {
+			return nil, nil, fmt.Errorf("worker %d: freeing inherited block %d: %w", w, i, err)
+		}
+		trace = append(trace, fmt.Sprintf("inherit-free:%d:ok", len(blk.pat)))
+	}
+	rng := rand.New(rand.NewSource(int64(phase*1000 + w)))
+	var live []diffBlock
+	for i := 0; i < ops; i++ {
+		if len(live) > 24 || (len(live) > 0 && rng.Intn(3) == 0) {
+			k := rng.Intn(len(live))
+			got := make([]byte, len(live[k].pat))
+			if err := th.Read(live[k].p, 0, got); err != nil {
+				return nil, nil, fmt.Errorf("worker %d op %d: read: %w", w, i, err)
+			}
+			if !bytes.Equal(got, live[k].pat) {
+				return nil, nil, fmt.Errorf("worker %d op %d: payload corrupted before free", w, i)
+			}
+			if err := th.Free(live[k].p); err != nil {
+				return nil, nil, fmt.Errorf("worker %d op %d: free: %w", w, i, err)
+			}
+			trace = append(trace, fmt.Sprintf("free:%d:ok", len(live[k].pat)))
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		size := uint64(rng.Intn(2048) + 16)
+		p, err := th.Alloc(size)
+		if err != nil {
+			trace = append(trace, fmt.Sprintf("alloc:%d:err", size))
+			continue
+		}
+		pat := make([]byte, size)
+		for j := range pat {
+			pat[j] = byte(w*131 + i*7 + j)
+		}
+		if err := th.Persist(p, 0, pat); err != nil {
+			return nil, nil, fmt.Errorf("worker %d op %d: write: %w", w, i, err)
+		}
+		trace = append(trace, fmt.Sprintf("alloc:%d:ok", size))
+		live = append(live, diffBlock{p: p, pat: pat})
+	}
+	return trace, live, nil
+}
+
+// diffPhase runs the schedule for every worker concurrently (the -race
+// payoff) and returns per-worker traces and live sets.
+func diffPhase(t *testing.T, h *core.Heap, phase, ops int, inherit [][]diffBlock) ([][]string, [][]diffBlock) {
+	t.Helper()
+	workers := h.Subheaps()
+	traces := make([][]string, workers)
+	lives := make([][]diffBlock, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var in []diffBlock
+			if inherit != nil {
+				in = inherit[w]
+			}
+			traces[w], lives[w], errs[w] = diffSchedule(h, w, phase, ops, in)
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("phase %d worker %d: %v", phase, w, err)
+		}
+	}
+	return traces, lives
+}
+
+func crashReload(t *testing.T, h *core.Heap, what string) *core.Heap {
+	t.Helper()
+	if _, err := h.Device().Crash(nvm.CrashPolicy{Mode: nvm.EvictNone}); err != nil {
+		t.Fatal(err)
+	}
+	_ = h.Close()
+	h2, err := core.Load(h.Device(), repairDiffOptions())
+	if err != nil {
+		t.Fatalf("%s: Load: %v", what, err)
+	}
+	return h2
+}
+
+// TestRepairedSubheapBehavesIdentically is the differential oracle for
+// satellite (c): corruption, quarantine and repair on heap A must be
+// invisible to the workload when compared op-for-op against the
+// never-corrupted heap B.
+func TestRepairedSubheapBehavesIdentically(t *testing.T) {
+	const ops = 200
+	hA, err := core.Create(repairDiffOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hB, err := core.Create(repairDiffOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: identical concurrent schedules on both heaps.
+	trA1, liveA := diffPhase(t, hA, 1, ops, nil)
+	trB1, liveB := diffPhase(t, hB, 1, ops, nil)
+	if !reflect.DeepEqual(trA1, trB1) {
+		t.Fatal("phase 1 op traces diverge before any corruption — schedule is not deterministic")
+	}
+	if len(liveA[0]) == 0 {
+		t.Fatal("phase 1 left no live blocks on worker 0")
+	}
+
+	// Corrupt only heap A: one bit in the record of worker 0's first live
+	// block, then power-cycle both heaps identically.
+	victim := liveA[0][0].p
+	slot, err := hA.RecordSlot(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hA.Device().InjectBitFlip(slot+8, 0); err != nil {
+		t.Fatal(err)
+	}
+	hA = crashReload(t, hA, "heap A")
+	defer hA.Close()
+	hB = crashReload(t, hB, "heap B")
+	defer hB.Close()
+
+	if got := hA.Stats().QuarantinedSubheaps; got != 1 {
+		t.Fatalf("heap A QuarantinedSubheaps = %d, want 1", got)
+	}
+	if got := hB.Stats().QuarantinedSubheaps; got != 0 {
+		t.Fatalf("heap B QuarantinedSubheaps = %d, want 0", got)
+	}
+
+	// Heal heap A; from here on the two heaps must be indistinguishable.
+	n, err := hA.RepairAll()
+	if err != nil {
+		t.Fatalf("RepairAll: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("RepairAll repaired %d, want 1", n)
+	}
+	if got := hA.Health(); got != core.StateHealthy {
+		t.Fatalf("heap A Health = %v, want healthy", got)
+	}
+	if got := hA.Stats().RepairedSubheaps; got != 1 {
+		t.Fatalf("heap A RepairedSubheaps = %d, want 1", got)
+	}
+
+	// Phase 2: identical concurrent schedules again, each worker first
+	// verifying and freeing everything it kept from phase 1 — including
+	// heap A's once-corrupted victim block.
+	trA2, _ := diffPhase(t, hA, 2, ops, liveA)
+	trB2, _ := diffPhase(t, hB, 2, ops, liveB)
+	if !reflect.DeepEqual(trA2, trB2) {
+		for w := range trA2 {
+			if !reflect.DeepEqual(trA2[w], trB2[w]) {
+				t.Errorf("worker %d traces diverge (len %d vs %d)", w, len(trA2[w]), len(trB2[w]))
+			}
+		}
+		t.Fatal("phase 2 op traces diverge between repaired and never-corrupted heap")
+	}
+
+	// Census fingerprint: identical schedules must leave identical block
+	// counts. (Free-list shape may differ — repair rethreads by offset —
+	// but that is not observable through the allocation API.)
+	repA, err := hA.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := hB.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repA.OK() || !repA.Healthy() {
+		t.Fatalf("heap A final audit: OK=%v Healthy=%v problems=%v", repA.OK(), repA.Healthy(), repA.Problems)
+	}
+	if !repB.OK() || !repB.Healthy() {
+		t.Fatalf("heap B final audit: OK=%v Healthy=%v problems=%v", repB.OK(), repB.Healthy(), repB.Problems)
+	}
+	if repA.AllocatedBlocks != repB.AllocatedBlocks {
+		t.Fatalf("live-block census diverges: repaired=%d pristine=%d",
+			repA.AllocatedBlocks, repB.AllocatedBlocks)
+	}
+}

@@ -166,13 +166,22 @@ func (r *CheckReport) merge(sub SubheapReport) {
 // I/O-level failures (the audit could not run), not inconsistencies — those
 // land in the report's Problems.
 func (s *subheap) check() (SubheapReport, error) {
-	report := SubheapReport{ID: s.id}
 	s.mu.Lock()
 	s.h.grant(s.thread)
 	defer func() {
 		s.h.revoke(s.thread)
 		s.mu.Unlock()
 	}()
+	return s.checkLocked(true)
+}
+
+// checkLocked is the audit body; the caller holds s.mu and the metadata
+// grant. full=false is the repair-internal mode: it skips the repair-marker
+// check (the marker is legitimately set mid-repair) and the remote-free ring
+// audit (the ring may still hold pending entries that repairRingLocked
+// replays afterwards).
+func (s *subheap) checkLocked(full bool) (SubheapReport, error) {
+	report := SubheapReport{ID: s.id}
 	init, err := s.initializedFlag()
 	if err != nil {
 		return report, err
@@ -181,6 +190,17 @@ func (s *subheap) check() (SubheapReport, error) {
 		return report, nil
 	}
 	report.Formatted = true
+	if full {
+		flag, err := s.win.ReadU64(s.base + shRepairingOff)
+		if err != nil {
+			return report, err
+		}
+		if flag != 0 {
+			report.Problems = append(report.Problems,
+				"repair in progress (interrupted repair)")
+			return report, nil
+		}
+	}
 	if err := s.ensureReady(); err != nil {
 		return report, err
 	}
@@ -268,6 +288,10 @@ func (s *subheap) check() (SubheapReport, error) {
 		if b.status == memblock.StatusFree && listed[b.off] != 1 {
 			problem("free block %#x appears %d times on free lists", b.off, listed[b.off])
 		}
+	}
+
+	if !full {
+		return report, nil
 	}
 
 	// Remote-free ring. Non-empty slots must decode and reference the user

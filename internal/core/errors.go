@@ -35,4 +35,12 @@ var (
 	// route to healthy sub-heaps automatically; frees of blocks inside the
 	// quarantined region surface this error.
 	ErrSubheapQuarantined = errors.New("poseidon: sub-heap is quarantined")
+	// ErrReadOnly reports a mutating operation on a heap whose health state
+	// machine has entered ReadOnly: a majority of sub-heaps are quarantined,
+	// so writes are rejected while reads (and repair) continue.
+	ErrReadOnly = errors.New("poseidon: heap is read-only")
+	// ErrNotQuarantined reports a Repair of a sub-heap that is in service —
+	// repair rebuilds metadata in place and must never run under live
+	// traffic on a healthy sub-heap.
+	ErrNotQuarantined = errors.New("poseidon: sub-heap is not quarantined")
 )

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"poseidon/internal/obs"
+)
+
+// HealthState is the heap's position in the explicit health state machine
+// Healthy → Degraded → ReadOnly → Failed. Transitions are driven by
+// quarantine, repair and the transient-retry counter; the state is
+// recomputed from those facts (not ratcheted), so a successful repair moves
+// the heap back toward Healthy.
+type HealthState int32
+
+const (
+	// StateHealthy: every sub-heap in service, no notable fault pressure.
+	StateHealthy HealthState = iota
+	// StateDegraded: some capacity is quarantined (allocations route around
+	// it) or the device is showing sustained transient-fault pressure, but
+	// the heap serves reads and writes normally.
+	StateDegraded
+	// StateReadOnly: a majority of sub-heaps are quarantined. Mutating
+	// operations are rejected with ErrReadOnly; reads, audits and repair
+	// continue.
+	StateReadOnly
+	// StateFailed: every sub-heap is quarantined. Operations surface
+	// ErrSubheapQuarantined from the routing layer; only repair can bring
+	// the heap back.
+	StateFailed
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateReadOnly:
+		return "read-only"
+	case StateFailed:
+		return "failed"
+	}
+	return "invalid"
+}
+
+// healthRetryThreshold is the lifetime transient-retry count past which a
+// fully in-service heap still reports Degraded: the device keeps stalling,
+// which is how NVDIMMs announce they are dying.
+const healthRetryThreshold = 256
+
+// Health returns the heap's current health state.
+func (h *Heap) Health() HealthState { return HealthState(h.health.Load()) }
+
+// recomputeHealth re-derives the health state from the quarantine set and
+// the transient-retry counter, and journals the transition if it changed.
+// Called after every quarantine, repair and notable retry burst; cheap
+// enough (one pass over the sub-heap flags) that callers need not debounce.
+func (h *Heap) recomputeHealth() {
+	n := len(h.subheaps)
+	q := 0
+	for _, s := range h.subheaps {
+		if s.isQuarantined() {
+			q++
+		}
+	}
+	var st HealthState
+	switch {
+	case n > 0 && q == n:
+		st = StateFailed
+	case 2*q > n:
+		st = StateReadOnly
+	case q > 0 || h.transientRetries.Load() >= healthRetryThreshold:
+		st = StateDegraded
+	default:
+		st = StateHealthy
+	}
+	prev := HealthState(h.health.Swap(int32(st)))
+	if prev != st {
+		h.tel.Emit(obs.EventHealthChange, -1, fmt.Sprintf(
+			"%s -> %s (%d/%d sub-heaps quarantined)", prev, st, q, n))
+	}
+}
+
+// writable gates mutating operations on the health state. Only ReadOnly
+// rejects here: Failed heaps surface ErrSubheapQuarantined from the
+// routing layer (there is no sub-heap left to write), which is the more
+// actionable error.
+func (h *Heap) writable() error {
+	if h.Health() == StateReadOnly {
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// healthDetail summarises why the heap is not healthy (empty when it is).
+func (h *Heap) healthDetail() string {
+	q := 0
+	for _, s := range h.subheaps {
+		if s.isQuarantined() {
+			q++
+		}
+	}
+	switch {
+	case q > 0:
+		return fmt.Sprintf("%d/%d sub-heaps quarantined", q, len(h.subheaps))
+	case h.transientRetries.Load() >= healthRetryThreshold:
+		return fmt.Sprintf("%d transient device retries", h.transientRetries.Load())
+	}
+	return ""
+}

@@ -63,6 +63,20 @@ type Heap struct {
 
 	transientRetries atomic.Uint64 // I/O retries that survived ErrTransient
 
+	// health is the current HealthState; recomputed from the quarantine set
+	// and retry pressure after every transition-relevant event.
+	health atomic.Int32
+
+	// Self-healing counters (surfaced via Stats and the metrics endpoint).
+	repairedSubheaps atomic.Uint64
+	repairedBytes    atomic.Uint64
+	mirrorRestores   atomic.Uint64
+
+	// scrubStop/scrubDone coordinate the optional online scrubber goroutine
+	// (Options.OnlineScrub); nil when the scrubber is not running.
+	scrubStop chan struct{}
+	scrubDone chan struct{}
+
 	// tel is the optional telemetry registry (Options.Telemetry); nil when
 	// the heap runs uninstrumented. sbRec attributes superblock-window
 	// device traffic; it is retagged under sbMu (or during single-threaded
@@ -100,6 +114,8 @@ func Create(opts Options) (*Heap, error) {
 	if err := h.format(); err != nil {
 		return nil, err
 	}
+	h.recomputeHealth()
+	h.startScrubber()
 	return h, nil
 }
 
@@ -122,6 +138,7 @@ func Load(dev *nvm.Device, opts Options) (*Heap, error) {
 	if err := h.recover(); err != nil {
 		return nil, err
 	}
+	h.recomputeHealth()
 	if h.tel != nil {
 		h.tel.Record(obs.OpLoad, time.Since(start))
 		st := h.Stats()
@@ -129,6 +146,7 @@ func Load(dev *nvm.Device, opts Options) (*Heap, error) {
 			"load complete: %d tx blocks rolled back, %d no-ops, %d sub-heaps quarantined",
 			st.RecoveredBlocks, st.RecoveredNoops, st.QuarantinedSubheaps))
 	}
+	h.startScrubber()
 	return h, nil
 }
 
@@ -319,38 +337,17 @@ func (h *Heap) format() error {
 	return nil
 }
 
-// Transient-error policy for recovery I/O: a read or write that fails with
-// nvm.ErrTransient is retried with exponential backoff a bounded number of
-// times before the error is surfaced. Real persistent-memory stacks see
-// exactly this class (ECC retries, poison that clears, bus hiccups) and a
-// recovery that dies on the first one turns a survivable blip into an
-// unavailable heap.
-const (
-	transientRetries = 6
-	transientBackoff = 20 * time.Microsecond
-)
-
-// retryTransient runs fn, retrying while it fails with nvm.ErrTransient.
-// Returns the number of retries performed alongside fn's final error.
-func retryTransient(fn func() error) (int, error) {
-	delay := transientBackoff
-	var err error
-	for attempt := 0; ; attempt++ {
-		if err = fn(); !errors.Is(err, nvm.ErrTransient) || attempt == transientRetries {
-			return attempt, err
-		}
-		time.Sleep(delay)
-		delay *= 2
-	}
-}
-
-// retry is retryTransient with the heap's stats counter attached.
+// retry is nvm.Retry with the heap's stats counter and journal attached.
+// It is the transient-error policy for recovery and runtime read paths: a
+// bounded backoff absorbs the ECC-retry/clearing-poison class of fault
+// instead of turning a survivable blip into an unavailable heap.
 func (h *Heap) retry(fn func() error) error {
-	n, err := retryTransient(fn)
+	n, err := nvm.Retry(fn)
 	if n > 0 && err == nil {
 		h.transientRetries.Add(uint64(n))
 		h.tel.Emit(obs.EventTransientRetry, -1,
 			fmt.Sprintf("device I/O succeeded after %d transient retries", n))
+		h.recomputeHealth()
 	}
 	return err
 }
@@ -372,7 +369,7 @@ func readLayout(dev *nvm.Device) (layout, error) {
 	var ioErr error
 	read := func(off uint64) uint64 {
 		var v uint64
-		_, err := retryTransient(func() error {
+		_, err := nvm.Retry(func() error {
 			var e error
 			v, e = dev.ReadU64(off)
 			return e
@@ -511,6 +508,12 @@ func (h *Heap) recover() error {
 		if h.tel != nil {
 			h.tel.Record(obs.OpScrub, time.Since(scrubStart))
 		}
+		// Every in-service sub-heap just passed a full audit — the one
+		// moment a load is entitled to refresh the metadata mirrors.
+		// Without ScrubOnLoad the mirrors stay stale-but-trustworthy until
+		// the mutation-paced refresh catches up: a stale mirror only costs
+		// repair its cheap path, a corrupt one would poison it.
+		h.syncMirrors()
 	}
 	return nil
 }
@@ -701,6 +704,9 @@ func (h *Heap) Root() (NVMPtr, error) {
 // SetRoot durably stores the root pointer. The location and validity words
 // update failure-atomically under the superblock undo log.
 func (h *Heap) SetRoot(p NVMPtr) error {
+	if err := h.writable(); err != nil {
+		return err
+	}
 	if !p.IsNull() && p.HeapID != h.heapID {
 		return fmt.Errorf("%w: root from heap %#x", ErrBadPointer, p.HeapID)
 	}
@@ -767,12 +773,19 @@ func (h *Heap) PtrAt(deviceOff uint64) (NVMPtr, error) {
 // SaveFile persists the heap image to path (atomic rename).
 func (h *Heap) SaveFile(path string) error { return h.dev.SaveFile(path) }
 
-// Close marks the heap unusable. It does not save; call SaveFile first if
+// Close marks the heap unusable and stops the online scrubber (waiting for
+// an in-flight slice to finish). It does not save; call SaveFile first if
 // durability across process restarts is wanted.
 func (h *Heap) Close() error {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.closed = true
+	stop := h.scrubStop
+	h.scrubStop = nil
+	h.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-h.scrubDone
+	}
 	return nil
 }
 
@@ -825,6 +838,9 @@ func (h *Heap) Stats() HeapStats {
 	}
 	out.PermissionSwitches = h.unit.Switches()
 	out.TransientRetries = h.transientRetries.Load()
+	out.RepairedSubheaps = h.repairedSubheaps.Load()
+	out.RepairedBytes = h.repairedBytes.Load()
+	out.MirrorRestores = h.mirrorRestores.Load()
 	return out
 }
 

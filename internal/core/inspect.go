@@ -64,6 +64,27 @@ func (h *Heap) InspectSubheap(i int) (SubheapInfo, error) {
 	return info, err
 }
 
+// RecordSlot returns the device offset of the hash-table record describing
+// the block p points at — the handle corruption-injection tests use to
+// flip bits in a specific record. No quarantine check: tests inspect
+// benched sub-heaps too.
+func (h *Heap) RecordSlot(p NVMPtr) (uint64, error) {
+	s, dev, err := h.resolve(p)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	h.grant(s.thread)
+	defer func() {
+		h.revoke(s.thread)
+		s.mu.Unlock()
+	}()
+	if err := s.ensureReady(); err != nil {
+		return 0, err
+	}
+	return s.mgr.Lookup(s.win, dev)
+}
+
 // Inspect writes a human-readable dump of the heap's structure — the
 // poseidon-inspect tool's engine.
 func (h *Heap) Inspect(w io.Writer) error {

@@ -57,15 +57,36 @@ const (
 	shInitializedOff = 0
 	shHeaderSize     = nvm.PageSize
 
+	// shRepairingOff is the persistent repair-in-progress flag, on its own
+	// cacheline between the initialized word and the ring. It is set
+	// (fenced) before repair mutates any metadata and cleared only after
+	// the repaired metadata is durable, so a crash mid-repair is detected
+	// at the next load and the sub-heap re-quarantined instead of serving
+	// half-rebuilt structures. format() zeroes the header page, so old
+	// images read "no repair in progress".
+	shRepairingOff = 64
+
 	// shRingOff places the remote-free ring in the spare space of the
 	// sub-heap header page, one cacheline past the initialized word so
 	// the two never share a dirty line. format() zeroes the whole header
 	// page, so images written before rings existed read as an empty ring.
 	shRingOff = 128
+
+	// The metadata mirror lives in the header page after the ring: two
+	// alternating checksummed slots holding the sub-heap's critical
+	// metadata summary (level count + free-list anchors), so a corrupt
+	// primary header can be restored instead of benched. format() zeroes
+	// the page, so old images read "no valid mirror" and fall back to
+	// rebuild-by-walk.
+	shMirrorOff      = shRingOff + memblock.RingBytes
+	shMirrorSlots    = 2
+	shMirrorSlotSize = 832 // 13 cachelines; fits summaries up to 49 size classes
 )
 
-// The ring must fit the header page (compile-time bound).
+// The ring and the mirror slots must fit the header page (compile-time
+// bounds).
 const _ = uint64(shHeaderSize - shRingOff - memblock.RingBytes)
+const _ = uint64(shHeaderSize - shMirrorOff - shMirrorSlots*shMirrorSlotSize)
 
 // metadataKey is the MPK protection key guarding all heap metadata.
 const metadataKey = 1

@@ -290,7 +290,12 @@ func (t *Thread) magAdopt() {
 	}
 	byShard := map[int]*pending{}
 	for k := uint64(0); k < m.man.Slots(); k++ {
-		word, err := t.win.ReadU64(m.man.WordOff(k))
+		var word uint64
+		err := t.h.retry(func() error {
+			var e error
+			word, e = t.win.ReadU64(m.man.WordOff(k))
+			return e
+		})
 		if err != nil {
 			m.disabled = true
 			return

@@ -46,6 +46,17 @@ func (h *Heap) Metrics() *obs.Snapshot {
 		"quarantined_subheaps": st.QuarantinedSubheaps,
 		"quarantined_bytes":    st.QuarantinedBytes,
 		"transient_retries":    st.TransientRetries,
+		"repaired_subheaps":    st.RepairedSubheaps,
+		"repaired_bytes":       st.RepairedBytes,
+		"mirror_restores":      st.MirrorRestores,
+	}
+
+	hs := h.Health()
+	snap.Health = &obs.HealthStatus{
+		State:    hs.String(),
+		Code:     int32(hs),
+		ReadOnly: hs == StateReadOnly,
+		Detail:   h.healthDetail(),
 	}
 
 	if h.tel != nil {
@@ -75,7 +86,7 @@ func (h *Heap) subheapGaugeList() []obs.SubheapGauge {
 		g := obs.SubheapGauge{ID: s.id}
 		if s.isQuarantined() {
 			g.Quarantined = true
-			g.QuarantineReason = s.qreason
+			g.QuarantineReason = s.quarantineReason()
 			out = append(out, g)
 			continue
 		}

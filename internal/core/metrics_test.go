@@ -217,13 +217,16 @@ func TestQuarantineEventJournalled(t *testing.T) {
 	}
 	defer h.Close()
 	h.subheaps[1].quarantine("test reason")
+	// Quarantine emits its own event plus the health transition it caused.
 	ev := tel.Events()
-	if len(ev) != 1 || ev[0].Kind != obs.EventQuarantine || ev[0].Subheap != 1 {
+	if len(ev) != 2 || ev[0].Kind != obs.EventQuarantine || ev[0].Subheap != 1 ||
+		ev[1].Kind != obs.EventHealthChange {
 		t.Fatalf("events = %+v", ev)
 	}
-	// Idempotent: a second quarantine of the same sub-heap does not re-emit.
+	// Idempotent: a second quarantine of the same sub-heap does not re-emit
+	// (and the unchanged health state does not either).
 	h.subheaps[1].quarantine("another reason")
-	if got := len(tel.Events()); got != 1 {
+	if got := len(tel.Events()); got != 2 {
 		t.Fatalf("re-quarantine emitted again: %d events", got)
 	}
 	snap := h.Metrics()

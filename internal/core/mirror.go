@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+
+	"poseidon/internal/memblock"
+)
+
+// Metadata mirror: each sub-heap keeps a checksummed shadow of its critical
+// header state — the active hash-table level count and every size class's
+// free-list anchors — in the spare space of its header page (layout.go,
+// shMirrorOff). The mirror is what lets repair restore a corrupt primary
+// header instead of benching the whole sub-heap: interior record fields are
+// re-derivable by walking the table, but the level count and list anchors
+// are authoritative only in the header, so they get a second copy.
+//
+// Two slots alternate (A/B): an update always overwrites the slot NOT
+// holding the latest valid image, so a crash mid-update tears at most the
+// older copy. Each slot carries a monotonic sequence number and a checksum
+// over every word; loads take the valid slot with the highest sequence.
+// Updates are paced (every mirrorInterval committed mutations, plus every
+// structural commit point) and strictly best-effort: a failed or skipped
+// update just leaves an older — still self-consistent — image behind, and
+// repair audits the restored state before trusting it.
+
+const (
+	// mirrorMagic is "PSMIRROR" little endian.
+	mirrorMagic uint64 = 0x524f5252494d5350
+
+	// mirrorInterval paces steady-state mirror refreshes: one update per
+	// this many committed mutations (allocs/frees). Structural changes
+	// (format, recovery, level extension, repair) update unconditionally.
+	mirrorInterval = 128
+)
+
+// mirrorImage is a decoded mirror slot.
+type mirrorImage struct {
+	seq    uint64
+	levels int
+	lists  [][2]uint64 // per class: head, tail
+}
+
+// mirrorWords returns the slot's word count: magic, seq, levels, classes,
+// head/tail per class, checksum.
+func (s *subheap) mirrorWords() int {
+	return 5 + 2*s.mgr.Geometry().NumClasses
+}
+
+// mirrorEnabled reports whether the summary fits a mirror slot. With the
+// geometry bounds in layout.go this is always true today; the guard keeps a
+// future geometry change from silently writing past the slot.
+func (s *subheap) mirrorEnabled() bool {
+	return uint64(s.mirrorWords())*8 <= shMirrorSlotSize
+}
+
+// mirrorSlotBase returns the device offset of mirror slot i.
+func (s *subheap) mirrorSlotBase(i int) uint64 {
+	return s.base + shMirrorOff + uint64(i)*shMirrorSlotSize
+}
+
+// mirrorChecksum folds the slot's body words into the check word
+// (splitmix64-style avalanche per word, same family as the ring's check).
+func mirrorChecksum(words []uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, w := range words {
+		h ^= w
+		h *= 0xFF51AFD7ED558CCD
+		h ^= h >> 33
+	}
+	return h
+}
+
+// mirrorAnchorValid reports whether a free-list anchor read from the live
+// header could possibly be a record slot: zero (empty list) or a 64-aligned
+// offset inside the hash-table arena.
+func (s *subheap) mirrorAnchorValid(a uint64) bool {
+	if a == 0 {
+		return true
+	}
+	g := s.mgr.Geometry()
+	return a >= g.LevelOff[0] && a < g.End && a%memblock.RecordSize == 0
+}
+
+// updateMirrorLocked captures the live header state into the stale mirror
+// slot. Caller holds s.mu with the metadata window granted and no staged
+// batch words (the reads go straight to the window). The capture is
+// validated before anything is written: if the live header is already
+// corrupt, the update is skipped so the last good image survives for
+// repair. Errors are reported but callers treat the update as best-effort.
+func (s *subheap) updateMirrorLocked() error {
+	if !s.mirrorEnabled() {
+		return nil
+	}
+	g := s.mgr.Geometry()
+	levels, err := s.mgr.ActiveLevels(s.win)
+	if err != nil {
+		return err // corrupt or unreadable level count: keep the old image
+	}
+	words := make([]uint64, s.mirrorWords())
+	words[0] = mirrorMagic
+	words[1] = s.mirrorSeq + 1
+	words[2] = uint64(levels)
+	words[3] = uint64(g.NumClasses)
+	for c := 0; c < g.NumClasses; c++ {
+		head, err := s.mgr.FreeHead(s.win, c)
+		if err != nil {
+			return err
+		}
+		tail, err := s.mgr.FreeTail(s.win, c)
+		if err != nil {
+			return err
+		}
+		if !s.mirrorAnchorValid(head) || !s.mirrorAnchorValid(tail) {
+			return fmt.Errorf("%w: free-list anchor of class %d out of bounds", ErrCorruptHeap, c)
+		}
+		words[4+2*c] = head
+		words[4+2*c+1] = tail
+	}
+	words[len(words)-1] = mirrorChecksum(words[:len(words)-1])
+
+	slot := s.mirrorSlotBase(int((s.mirrorSeq + 1) % shMirrorSlots))
+	for i, w := range words {
+		if err := s.win.WriteU64(slot+uint64(i)*8, w); err != nil {
+			return err
+		}
+	}
+	if err := s.win.Flush(slot, uint64(len(words))*8); err != nil {
+		return err
+	}
+	s.win.Fence()
+	s.mirrorSeq++
+	return nil
+}
+
+// loadMirrorLocked reads both mirror slots and returns the valid image with
+// the highest sequence number, or nil if neither slot validates (fresh
+// image, torn first update, or corrupted header page). Caller holds s.mu
+// with the window granted.
+func (s *subheap) loadMirrorLocked() (*mirrorImage, error) {
+	if !s.mirrorEnabled() {
+		return nil, nil
+	}
+	g := s.mgr.Geometry()
+	n := s.mirrorWords()
+	var best *mirrorImage
+	for i := 0; i < shMirrorSlots; i++ {
+		base := s.mirrorSlotBase(i)
+		words := make([]uint64, n)
+		readErr := false
+		for j := range words {
+			w, err := s.win.ReadU64(base + uint64(j)*8)
+			if err != nil {
+				if quarantinable(err) {
+					readErr = true // unreadable slot: treat as invalid
+					break
+				}
+				return nil, err
+			}
+			words[j] = w
+		}
+		if readErr {
+			continue
+		}
+		if words[0] != mirrorMagic ||
+			words[n-1] != mirrorChecksum(words[:n-1]) ||
+			words[3] != uint64(g.NumClasses) ||
+			words[2] < 1 || words[2] > uint64(len(g.LevelCap)) {
+			continue
+		}
+		img := &mirrorImage{
+			seq:    words[1],
+			levels: int(words[2]),
+			lists:  make([][2]uint64, g.NumClasses),
+		}
+		ok := true
+		for c := 0; c < g.NumClasses; c++ {
+			head, tail := words[4+2*c], words[4+2*c+1]
+			if !s.mirrorAnchorValid(head) || !s.mirrorAnchorValid(tail) ||
+				(head == 0) != (tail == 0) {
+				ok = false
+				break
+			}
+			img.lists[c] = [2]uint64{head, tail}
+		}
+		if !ok {
+			continue
+		}
+		if best == nil || img.seq > best.seq {
+			best = img
+		}
+	}
+	return best, nil
+}
+
+// seedMirrorSeq aligns the in-DRAM sequence counter with the newest valid
+// on-device image so the next update targets the stale slot. Caller holds
+// s.mu with the window granted.
+func (s *subheap) seedMirrorSeq() {
+	img, err := s.loadMirrorLocked()
+	if err != nil || img == nil {
+		s.mirrorSeq = 0
+		return
+	}
+	s.mirrorSeq = img.seq
+}
+
+// restoreMirrorLocked stages the mirrored level count and free-list anchors
+// over the primary header and commits. Caller holds s.mu with the window
+// granted and s.batch open; the restored state still needs a full audit
+// before the sub-heap returns to service.
+func (s *subheap) restoreMirrorLocked(img *mirrorImage) error {
+	if err := s.mgr.SetActiveLevels(s.batch, img.levels); err != nil {
+		s.batch.Abort()
+		return err
+	}
+	for c, ht := range img.lists {
+		if err := s.mgr.SetFreeList(s.batch, c, ht[0], ht[1]); err != nil {
+			s.batch.Abort()
+			return err
+		}
+	}
+	if err := s.batch.Commit(); err != nil {
+		s.batch.Abort()
+		if rerr := s.undo.Replay(); rerr != nil {
+			return fmt.Errorf("%w (rollback also failed: %v)", err, rerr)
+		}
+		return err
+	}
+	return nil
+}
+
+// noteMirrorMutation counts one committed mutation and refreshes the mirror
+// every mirrorInterval-th call. Best-effort: a failed refresh leaves the
+// previous image in place. Caller holds s.mu with the window granted and a
+// clean batch (called only after a successful Commit).
+func (s *subheap) noteMirrorMutation() {
+	s.mutations++
+	if s.mutations%mirrorInterval == 0 {
+		_ = s.updateMirrorLocked()
+	}
+}
+
+// SyncMirrors forces a mirror refresh on every in-service sub-heap — a
+// deterministic commit point for tests and for callers about to snapshot
+// the device.
+func (h *Heap) SyncMirrors() error {
+	if h.isClosed() {
+		return ErrClosed
+	}
+	return h.syncMirrors()
+}
+
+// syncMirrors is the SyncMirrors body, also called by recover after a clean
+// ScrubOnLoad audit.
+func (h *Heap) syncMirrors() error {
+	var first error
+	for _, s := range h.subheaps {
+		if s.isQuarantined() {
+			continue
+		}
+		s.mu.Lock()
+		if s.ready {
+			h.grant(s.thread)
+			if err := s.updateMirrorLocked(); err != nil && first == nil {
+				first = err
+			}
+			h.revoke(s.thread)
+		}
+		s.mu.Unlock()
+	}
+	return first
+}

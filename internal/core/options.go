@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"poseidon/internal/memblock"
 	"poseidon/internal/nvm"
@@ -86,6 +87,12 @@ type Options struct {
 	// fast paths for small size classes backed by crash-reclaimable
 	// refill batches. See MagazineOptions. Zero value: disabled.
 	Magazines MagazineOptions
+	// OnlineScrub enables the background scrubber: a goroutine that
+	// periodically audits every in-service sub-heap with the fsck engine
+	// (one sub-heap per lock slice, so foreground traffic is never blocked
+	// for a full-heap scan), quarantines any whose metadata fails, and
+	// immediately attempts a Repair. Zero value: disabled.
+	OnlineScrub OnlineScrubOptions
 	// DeviceStats enables flush/fence counters on the device.
 	DeviceStats bool
 	// Telemetry, when non-nil, wires the heap into the telemetry registry:
@@ -124,6 +131,17 @@ type MagazineOptions struct {
 	// class c holds blocks of 64<<c bytes. Defaults to 8 (64 B … 8 KiB)
 	// when Capacity > 0; capped at the sub-heap's class count.
 	Classes int
+}
+
+// OnlineScrubOptions paces the opt-in background scrubber.
+type OnlineScrubOptions struct {
+	// Interval is the pause between full scrub passes; 0 disables the
+	// scrubber entirely.
+	Interval time.Duration
+	// Throttle is an extra pause between per-sub-heap audit slices within a
+	// pass, bounding the scrubber's share of device bandwidth. 0 means no
+	// pause beyond the per-slice lock handoff.
+	Throttle time.Duration
 }
 
 const (
@@ -222,6 +240,9 @@ func (o Options) validate() error {
 	if o.RemoteFreeRings && o.SubheapUserSize-1 > memblock.MaxRingRel {
 		return fmt.Errorf("poseidon: sub-heap user size %d exceeds the remote-free ring's %d-bit offset",
 			o.SubheapUserSize, 44)
+	}
+	if o.OnlineScrub.Interval < 0 || o.OnlineScrub.Throttle < 0 {
+		return fmt.Errorf("poseidon: online scrub interval/throttle must not be negative")
 	}
 	if o.Magazines.Capacity != 0 {
 		if o.Magazines.Capacity < 2 || o.Magazines.Capacity > 4096 {

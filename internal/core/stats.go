@@ -45,4 +45,7 @@ type HeapStats struct {
 	QuarantinedSubheaps uint64 // sub-heaps recovery took out of service
 	QuarantinedBytes    uint64 // user capacity lost to quarantine
 	TransientRetries    uint64 // device I/O retries that survived ErrTransient
+	RepairedSubheaps    uint64 // quarantined sub-heaps returned to service by Repair
+	RepairedBytes       uint64 // user capacity returned to service by Repair
+	MirrorRestores      uint64 // repairs whose header came back from the metadata mirror
 }

@@ -68,10 +68,18 @@ type subheap struct {
 	// quarantined marks a sub-heap taken out of service because its
 	// metadata failed recovery or audit (degrade-don't-die): allocations
 	// route around it, frees into it are rejected, and its capacity is
-	// reported as lost in Stats. qreason is written before the flag is
-	// published and never mutated after.
+	// reported as lost in Stats. qreason (a string) is stored before the
+	// flag is published; it is atomic because Repair can return the
+	// sub-heap to service and a later corruption re-quarantine it while
+	// concurrent error paths read the reason.
 	quarantined atomic.Bool
-	qreason     string
+	qreason     atomic.Value
+
+	// mirrorSeq is the sequence number of the newest valid on-device
+	// metadata mirror image (mirror.go); mutations counts committed
+	// mutations to pace refreshes. DRAM-only, guarded by mu.
+	mirrorSeq uint64
+	mutations uint64
 
 	stats subheapStats
 
@@ -102,14 +110,23 @@ func (g *subheapGauges) reset() {
 }
 
 // quarantine takes the sub-heap out of service. Idempotent; the first
-// reason wins.
+// reason wins (until a Repair clears the flag — a re-quarantine then
+// records its own, fresh reason).
 func (s *subheap) quarantine(reason string) {
 	if s.quarantined.Load() {
 		return
 	}
-	s.qreason = reason
+	s.qreason.Store(reason)
 	s.quarantined.Store(true)
 	s.h.tel.Emit(obs.EventQuarantine, s.id, reason)
+	s.h.recomputeHealth()
+}
+
+// unquarantine returns a repaired sub-heap to service. Only Repair calls
+// this, after the rebuilt metadata passed a full audit.
+func (s *subheap) unquarantine() {
+	s.quarantined.Store(false)
+	s.h.recomputeHealth()
 }
 
 func (s *subheap) isQuarantined() bool { return s.quarantined.Load() }
@@ -118,7 +135,8 @@ func (s *subheap) quarantineReason() string {
 	if !s.quarantined.Load() {
 		return ""
 	}
-	return s.qreason
+	r, _ := s.qreason.Load().(string)
+	return r
 }
 
 func newSubheap(h *Heap, id int) (*subheap, error) {
@@ -158,6 +176,19 @@ func (s *subheap) initializedFlag() (bool, error) {
 	return v == 1, err
 }
 
+// readRetry is a metadata read with the heap's transient-retry policy
+// attached — used on runtime paths (ring drain/replay, repair) where a
+// clearing ECC fault should cost a bounded backoff, not an aborted drain.
+func (s *subheap) readRetry(off uint64) (uint64, error) {
+	var v uint64
+	err := s.h.retry(func() error {
+		var e error
+		v, e = s.win.ReadU64(off)
+		return e
+	})
+	return v, err
+}
+
 // recoverLogs opens the logs of a formatted sub-heap and replays its undo
 // log (heap load path, §5.1). Unformatted sub-heaps are left untouched —
 // they format lazily on first use, like the paper's first-malloc-on-CPU.
@@ -171,12 +202,23 @@ func (s *subheap) recoverLogs() error {
 	if !init {
 		return nil
 	}
+	// A set repair marker means a crash interrupted Repair: the metadata is
+	// a half-rebuilt mix we must not serve. Fail quarantinably — recovery
+	// benches the sub-heap, and the next Repair runs to completion.
+	flag, err := s.win.ReadU64(s.base + shRepairingOff)
+	if err != nil {
+		return err
+	}
+	if flag != 0 {
+		return fmt.Errorf("%w: interrupted repair", ErrCorruptHeap)
+	}
 	s.h.grant(s.thread)
 	defer s.h.revoke(s.thread)
 	s.setClass(nvm.ClassRecovery)
 	if err := s.open(true); err != nil {
 		return err
 	}
+	s.seedMirrorSeq()
 	if err := s.replayRingLocked(); err != nil {
 		return err
 	}
@@ -184,6 +226,9 @@ func (s *subheap) recoverLogs() error {
 		return err
 	}
 	s.seedGauges()
+	// No mirror refresh here: the header has not been audited yet, and
+	// copying a corrupt header over the last good mirror would defeat the
+	// restore path. recover() refreshes mirrors after the scrub passes.
 	return nil
 }
 
@@ -241,6 +286,7 @@ func (s *subheap) ensureReady() error {
 		if err := s.open(!s.h.rawAttach); err != nil {
 			return err
 		}
+		s.seedMirrorSeq()
 		if !s.h.rawAttach {
 			if err := s.replayRingLocked(); err != nil {
 				return err
@@ -321,6 +367,9 @@ func (s *subheap) format() error {
 	if s.h.opts.RemoteFreeRings {
 		s.ring.Arm()
 	}
+	// First mirror image of the freshly formatted header (best-effort).
+	s.mirrorSeq = 0
+	_ = s.updateMirrorLocked()
 	return nil
 }
 
@@ -330,7 +379,7 @@ func (s *subheap) format() error {
 // the undo log truncates (§5.3).
 func (s *subheap) alloc(size uint64, lane *plog.MicroLog) (uint64, error) {
 	if s.isQuarantined() {
-		return 0, fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.qreason)
+		return 0, fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.quarantineReason())
 	}
 	s.mu.Lock()
 	s.h.grant(s.thread)
@@ -529,6 +578,7 @@ func (s *subheap) tryAlloc(class int, lane *plog.MicroLog) (blockOff uint64, err
 		return 0, cerr
 	}
 	committed = true
+	s.noteMirrorMutation()
 	if s.gauge != nil {
 		s.gauge.allocBlocks.Add(1)
 		s.gauge.allocBytes.Add(int64(g.ClassSize(class)))
@@ -554,7 +604,7 @@ func (s *subheap) free(blockOff uint64) error {
 // ClassFree so the two show up separately in the amplification table.
 func (s *subheap) freeAs(blockOff uint64, cls nvm.OpClass) error {
 	if s.isQuarantined() {
-		return fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.qreason)
+		return fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.quarantineReason())
 	}
 	s.mu.Lock()
 	s.h.grant(s.thread)
@@ -614,6 +664,7 @@ func (s *subheap) freeLocked(blockOff uint64) error {
 	}
 	s.freeMask |= 1 << uint(class)
 	s.stats.frees.Add(1)
+	s.noteMirrorMutation()
 	if s.gauge != nil {
 		s.gauge.allocBlocks.Add(-1)
 		s.gauge.allocBytes.Add(-int64(rec.Size))
@@ -718,7 +769,7 @@ func (s *subheap) drainRingLocked(limit int) (int, error) {
 		}
 		slotOff := r.SlotOff(ticket)
 		var word uint64
-		if word, err = s.win.ReadU64(slotOff); err != nil {
+		if word, err = s.readRetry(slotOff); err != nil {
 			break
 		}
 		if word != 0 { // zero: a producer's failed persist, skip the slot
@@ -786,7 +837,7 @@ func (s *subheap) replayRingLocked() error {
 	corrupt, cleared := 0, 0
 	for i := uint64(0); i < memblock.RingSlots; i++ {
 		off := base + i*memblock.RingSlotBytes
-		word, err := s.win.ReadU64(off)
+		word, err := s.readRetry(off)
 		if err != nil {
 			return err
 		}
@@ -859,7 +910,7 @@ func (s *subheap) timeDrain() func() {
 // want and retries.
 func (s *subheap) refillMagazine(class, want int, man plog.Manifest, slot0 uint64) ([]uint64, error) {
 	if s.isQuarantined() {
-		return nil, fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.qreason)
+		return nil, fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.quarantineReason())
 	}
 	s.mu.Lock()
 	s.h.grant(s.thread)
@@ -959,6 +1010,7 @@ func (s *subheap) refillMagazine(class, want int, man plog.Manifest, slot0 uint6
 			return nil, cerr
 		}
 		s.stats.magazineRefills.Add(1)
+		s.noteMirrorMutation()
 		if s.gauge != nil {
 			size := int64(g.ClassSize(class))
 			for i := range blocks {
@@ -1015,7 +1067,7 @@ func (s *subheap) stageCarves(class, want int) (blocks []uint64, founds []int, e
 // freed.
 func (s *subheap) flushCached(devOffs []uint64, man plog.Manifest, words []uint64) (int, error) {
 	if s.isQuarantined() {
-		return 0, fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.qreason)
+		return 0, fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.quarantineReason())
 	}
 	s.mu.Lock()
 	s.h.grant(s.thread)
@@ -1075,6 +1127,7 @@ func (s *subheap) flushCached(devOffs []uint64, man plog.Manifest, words []uint6
 			return 0, err
 		}
 		s.stats.magazineFlushes.Add(1)
+		s.noteMirrorMutation()
 		if s.gauge != nil {
 			for _, f := range freed {
 				s.gauge.allocBlocks.Add(-1)
@@ -1198,6 +1251,7 @@ func (s *subheap) mergeBuddy(slot uint64) (bool, error) {
 	}
 	s.freeMask |= 1 << uint(class+1)
 	s.stats.defragMerges.Add(1)
+	s.noteMirrorMutation()
 	if s.gauge != nil {
 		s.gauge.freeByClass[class].Add(-2)
 		s.gauge.freeByClass[class+1].Add(1)
@@ -1304,7 +1358,10 @@ func (s *subheap) freeListSlots(c int) ([]uint64, error) {
 	return out, nil
 }
 
-// extendLevel activates the next hash-table level in its own batch.
+// extendLevel activates the next hash-table level in its own batch. The
+// level count is mirrored critical metadata, so the mirror is refreshed
+// eagerly — a level activation is rare and must not wait out the
+// mutation-paced refresh.
 func (s *subheap) extendLevel() error {
 	if err := s.mgr.ExtendLevel(s.batch); err != nil {
 		s.batch.Abort()
@@ -1318,6 +1375,7 @@ func (s *subheap) extendLevel() error {
 		_ = s.reseedFreeMask()
 		return err
 	}
+	_ = s.updateMirrorLocked()
 	return nil
 }
 
@@ -1325,7 +1383,7 @@ func (s *subheap) extendLevel() error {
 // offset blockOff (used by the facade for bounds-checked access).
 func (s *subheap) blockSize(blockOff uint64) (uint64, error) {
 	if s.isQuarantined() {
-		return 0, fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.qreason)
+		return 0, fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.quarantineReason())
 	}
 	s.mu.Lock()
 	s.h.grant(s.thread)

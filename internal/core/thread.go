@@ -145,6 +145,9 @@ func (t *Thread) alloc(size uint64) (NVMPtr, error) {
 	if err := t.check(); err != nil {
 		return NVMPtr{}, err
 	}
+	if err := t.h.writable(); err != nil {
+		return NVMPtr{}, err
+	}
 	// Magazine fast path: pop a pre-carved block — no lock, no flush, no
 	// device metadata read. Falls through on any miss.
 	if p, ok := t.magAlloc(size); ok {
@@ -178,6 +181,9 @@ func (t *Thread) TxAlloc(size uint64, isEnd bool) (NVMPtr, error) {
 
 func (t *Thread) txAlloc(size uint64, isEnd bool) (NVMPtr, error) {
 	if err := t.check(); err != nil {
+		return NVMPtr{}, err
+	}
+	if err := t.h.writable(); err != nil {
 		return NVMPtr{}, err
 	}
 	// Micro-log lane writes through this thread's window are part of the
@@ -260,6 +266,9 @@ func (t *Thread) free(p NVMPtr) error {
 	if err := t.check(); err != nil {
 		return err
 	}
+	if err := t.h.writable(); err != nil {
+		return err
+	}
 	s, dev, err := t.h.resolve(p)
 	if err != nil {
 		return err
@@ -307,11 +316,21 @@ func (t *Thread) access(p NVMPtr) (uint64, error) {
 	return dev, err
 }
 
+// writeAccess is access plus the health gate: user-data stores are rejected
+// once the heap is ReadOnly, while reads (and Flush of already-written data)
+// stay available.
+func (t *Thread) writeAccess(p NVMPtr) (uint64, error) {
+	if err := t.h.writable(); err != nil {
+		return 0, err
+	}
+	return t.access(p)
+}
+
 // Write stores b into the block at p starting at byte off. The store goes
 // through the thread's MPK window: in-bounds stores land in the user
 // region; overflowing into metadata faults.
 func (t *Thread) Write(p NVMPtr, off uint64, b []byte) error {
-	dev, err := t.access(p)
+	dev, err := t.writeAccess(p)
 	if err != nil {
 		return err
 	}
@@ -329,7 +348,7 @@ func (t *Thread) Read(p NVMPtr, off uint64, b []byte) error {
 
 // WriteU64 stores an 8-byte word into the block at p.
 func (t *Thread) WriteU64(p NVMPtr, off uint64, v uint64) error {
-	dev, err := t.access(p)
+	dev, err := t.writeAccess(p)
 	if err != nil {
 		return err
 	}
@@ -347,7 +366,7 @@ func (t *Thread) ReadU64(p NVMPtr, off uint64) (uint64, error) {
 
 // Persist writes b into the block at p and makes it durable.
 func (t *Thread) Persist(p NVMPtr, off uint64, b []byte) error {
-	dev, err := t.access(p)
+	dev, err := t.writeAccess(p)
 	if err != nil {
 		return err
 	}

@@ -30,6 +30,40 @@ func (m *Manager) FreeHead(r txn.Reader, class int) (uint64, error) {
 	return r.ReadU64(m.headOff(class))
 }
 
+// FreeTail returns the slot at the tail of a class's free list (0 = empty).
+func (m *Manager) FreeTail(r txn.Reader, class int) (uint64, error) {
+	if err := m.checkClass(class); err != nil {
+		return 0, err
+	}
+	return r.ReadU64(m.tailOff(class))
+}
+
+// SetFreeList stages a class's head and tail pointers directly — the
+// repair path's tool for restoring list anchors from a mirror. The
+// interior prev/next threading must already be consistent with the
+// anchors; normal list maintenance goes through PushFreeTail/RemoveFree.
+func (m *Manager) SetFreeList(b *txn.Batch, class int, head, tail uint64) error {
+	if err := m.checkClass(class); err != nil {
+		return err
+	}
+	if err := b.WriteU64(m.headOff(class), head); err != nil {
+		return err
+	}
+	return b.WriteU64(m.tailOff(class), tail)
+}
+
+// ResetFreeLists stages zeroes over every class's head and tail, emptying
+// all free lists. The repair path calls this before rethreading the lists
+// from surviving records.
+func (m *Manager) ResetFreeLists(b *txn.Batch) error {
+	for c := 0; c < m.g.NumClasses; c++ {
+		if err := m.SetFreeList(b, c, 0, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // PushFreeTail appends the record at slot to the tail of class's free list
 // and marks it free.
 func (m *Manager) PushFreeTail(b *txn.Batch, class int, slot uint64) error {

@@ -244,6 +244,46 @@ func (m *Manager) ProbeWindowSlots(r txn.Reader, blockOff uint64) ([]uint64, err
 	return out, nil
 }
 
+// SetActiveLevels stages the active level count directly. It is the
+// repair path's tool for restoring a corrupt header word from a mirror
+// or from the inferred contents of the level arrays; normal growth goes
+// through ExtendLevel.
+func (m *Manager) SetActiveLevels(b *txn.Batch, levels int) error {
+	if levels < 1 || levels > len(m.g.LevelCap) {
+		return fmt.Errorf("memblock: invalid level count %d", levels)
+	}
+	return b.WriteU64(m.g.HeaderOff, uint64(levels))
+}
+
+// ForEachSlot calls fn for every used slot (live or tombstoned) across
+// ALL levels, active or not — a raw walk that does not trust the level
+// count header. Inactive levels are untouched device space and read as
+// zero, so visiting them is harmless; the repair path uses this to
+// recover records when the header itself is corrupt. Iteration stops on
+// the first error.
+func (m *Manager) ForEachSlot(r txn.Reader, fn func(level int, slot, key uint64) error) error {
+	for l := 0; l < len(m.g.LevelCap); l++ {
+		for i := uint64(0); i < m.g.LevelCap[l]; i++ {
+			slot := m.slotOff(l, i)
+			key, err := r.ReadU64(slot + fldBlockOff)
+			if err != nil {
+				return err
+			}
+			if key == 0 {
+				continue
+			}
+			if err := fn(l, slot, key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// IsTombstone reports whether a key word read via ForEachSlot marks a
+// deleted record.
+func IsTombstone(key uint64) bool { return key == tombstone }
+
 // ForEachRecord calls fn for every live record across active levels (used
 // by recovery audits and the heap inspector). Iteration stops on the first
 // error.

@@ -1,0 +1,71 @@
+package nvm
+
+import (
+	"errors"
+	"time"
+)
+
+// RetryPolicy bounds a retry loop for transient device faults. NVDIMM
+// media occasionally returns correctable-error stalls that clear on a
+// subsequent access; the device model surfaces them as ErrTransient.
+// Permanent faults (ErrDeviceFailed, ErrOutOfRange, and every
+// non-transient error) are never retried.
+type RetryPolicy struct {
+	// Attempts is the number of retries after the first try: the
+	// operation runs at most Attempts+1 times.
+	Attempts int
+	// Backoff is the sleep before the first retry; it doubles on each
+	// subsequent retry.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling. Zero means uncapped.
+	MaxBackoff time.Duration
+}
+
+// DefaultRetry is the policy used throughout the allocator: six retries
+// starting at 20µs, capped at 2ms — generous enough to outlast a media
+// stall, bounded enough that a permanently faulty line fails in well
+// under a second.
+var DefaultRetry = RetryPolicy{
+	Attempts:   6,
+	Backoff:    20 * time.Microsecond,
+	MaxBackoff: 2 * time.Millisecond,
+}
+
+// Run invokes fn, retrying while it returns ErrTransient, sleeping a
+// capped exponential backoff plus deterministic jitter between attempts.
+// It returns how many retries were performed (0 if the first try
+// settled) and fn's final error — nil on success, the last ErrTransient
+// if the budget ran out, or the first non-transient error.
+func (p RetryPolicy) Run(fn func() error) (retries int, err error) {
+	delay := p.Backoff
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		if err == nil || !errors.Is(err, ErrTransient) || attempt == p.Attempts {
+			return attempt, err
+		}
+		time.Sleep(delay + retryJitter(attempt, delay))
+		delay *= 2
+		if p.MaxBackoff > 0 && delay > p.MaxBackoff {
+			delay = p.MaxBackoff
+		}
+	}
+}
+
+// Retry runs fn under DefaultRetry.
+func Retry(fn func() error) (retries int, err error) {
+	return DefaultRetry.Run(fn)
+}
+
+// retryJitter derives a deterministic sub-quarter-delay jitter from the
+// attempt number (splitmix64 finalizer), decorrelating concurrent
+// retriers without consuming a randomness source.
+func retryJitter(attempt int, delay time.Duration) time.Duration {
+	if delay <= 0 {
+		return 0
+	}
+	x := (uint64(attempt) + 1) * 0x9E3779B97F4A7C15
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return time.Duration(x % uint64(delay/4+1))
+}

@@ -1,0 +1,71 @@
+package nvm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRetrySucceedsAfterTransients(t *testing.T) {
+	calls := 0
+	retries, err := Retry(func() error {
+		calls++
+		if calls <= 2 {
+			return fmt.Errorf("read: %w", ErrTransient)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+	if retries != 2 || calls != 3 {
+		t.Fatalf("retries = %d calls = %d, want 2 and 3", retries, calls)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	p := RetryPolicy{Attempts: 3, Backoff: time.Microsecond}
+	calls := 0
+	retries, err := p.Run(func() error {
+		calls++
+		return ErrTransient
+	})
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v, want ErrTransient", err)
+	}
+	if calls != 4 || retries != 3 {
+		t.Fatalf("calls = %d retries = %d, want 4 and 3", calls, retries)
+	}
+}
+
+func TestRetryDoesNotRetryPermanentErrors(t *testing.T) {
+	calls := 0
+	_, err := Retry(func() error {
+		calls++
+		return ErrDeviceFailed
+	})
+	if !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("err = %v, want ErrDeviceFailed", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry on permanent faults)", calls)
+	}
+}
+
+func TestRetryJitterDeterministicAndBounded(t *testing.T) {
+	const delay = 80 * time.Microsecond
+	for attempt := 0; attempt < 8; attempt++ {
+		a := retryJitter(attempt, delay)
+		b := retryJitter(attempt, delay)
+		if a != b {
+			t.Fatalf("attempt %d: jitter not deterministic: %v vs %v", attempt, a, b)
+		}
+		if a < 0 || a > delay/4 {
+			t.Fatalf("attempt %d: jitter %v outside [0, %v]", attempt, a, delay/4)
+		}
+	}
+	if retryJitter(0, 0) != 0 {
+		t.Fatal("zero delay must yield zero jitter")
+	}
+}

@@ -15,6 +15,7 @@ import (
 //
 //	/metrics       Prometheus text exposition
 //	/metrics.json  the full Snapshot as JSON
+//	/healthz       health state as JSON; 200 healthy/degraded, 503 otherwise
 //	/vars          expvar (Go runtime memstats, cmdline)
 //	/debug/pprof/  the standard Go profiler endpoints
 //
@@ -24,6 +25,23 @@ func NewMux(snap func() *Snapshot) *http.ServeMux {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WritePrometheus(w, snap())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		hs := snap().Health
+		if hs == nil {
+			// No health layer wired (plain obs user): report liveness only.
+			hs = &HealthStatus{State: "unknown"}
+		}
+		// Load balancers act on the status code: serve traffic while the
+		// heap still accepts writes (healthy or degraded), shed it once
+		// writes are rejected (read-only) or everything is benched (failed).
+		if hs.ReadOnly || hs.State == "failed" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(hs)
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -42,7 +60,7 @@ func NewMux(snap func() *Snapshot) *http.ServeMux {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "poseidon telemetry: /metrics /metrics.json /vars /debug/pprof/")
+		fmt.Fprintln(w, "poseidon telemetry: /metrics /metrics.json /healthz /vars /debug/pprof/")
 	})
 	return mux
 }

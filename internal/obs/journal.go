@@ -20,12 +20,14 @@ const (
 	EventRecovery                        // a heap load completed recovery
 	EventViolation                       // a torture sweep found an inconsistency
 	EventFreeRejected                    // Thread.Free rejected an invalid or double free
+	EventRepair                          // a quarantined sub-heap was repaired (or repair failed)
+	EventHealthChange                    // the heap's health state machine transitioned
 	NumEventKinds
 )
 
 var eventKindNames = [NumEventKinds]string{
 	"quarantine", "transient_retry", "scrub_finding", "crash", "recovery", "violation",
-	"free_rejected",
+	"free_rejected", "repair", "health_change",
 }
 
 func (k EventKind) String() string {

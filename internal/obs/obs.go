@@ -30,12 +30,14 @@ const (
 	OpRefill   // batched magazine refill carve by the owning sub-heap
 	OpRecovery // log replay + lane rollback during Load
 	OpLoad     // whole Load call
-	OpScrub    // ScrubOnLoad audit
+	OpScrub    // ScrubOnLoad audit / online scrubber slice
+	OpRepair   // quarantine repair of one sub-heap
 	NumOps
 )
 
 var opNames = [NumOps]string{
 	"alloc", "free", "txalloc", "txfree", "defrag", "drain", "refill", "recovery", "load", "scrub",
+	"repair",
 }
 
 func (o Op) String() string {
@@ -52,10 +54,12 @@ func (o Op) String() string {
 // ring-drain device traffic is deliberately charged to ClassFree (a drain
 // IS the deferred half of frees), which OpFree already explains. OpRefill
 // follows the same rule on the alloc side: refill traffic is charged to
-// ClassAlloc, which OpAlloc already explains.
+// ClassAlloc, which OpAlloc already explains. OpRepair charges
+// ClassRecovery, which OpRecovery already explains, so it maps to no class.
 var attrClassOf = [NumOps]nvm.OpClass{
 	nvm.ClassAlloc, nvm.ClassFree, nvm.ClassTxAlloc, nvm.ClassTxFree,
 	nvm.ClassDefrag, nvm.NumClasses, nvm.NumClasses, nvm.ClassRecovery, nvm.NumClasses, nvm.ClassScrub,
+	nvm.NumClasses,
 }
 
 // Options configures a Telemetry instance.

@@ -121,6 +121,12 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 		}
 	}
 
+	if s.Health != nil {
+		b.header("poseidon_health_state", "gauge",
+			"Heap health: 0 healthy, 1 degraded, 2 read-only, 3 failed.")
+		b.line(`poseidon_health_state %d`, s.Health.Code)
+	}
+
 	b.header("poseidon_device_stats_enabled", "gauge",
 		"1 when flat device counters are collected.")
 	b.line(`poseidon_device_stats_enabled %d`, boolInt(s.Device.StatsEnabled))

@@ -62,6 +62,19 @@ type DeviceStats struct {
 	ResidentBytes int64
 }
 
+// HealthStatus is the heap's health state machine position. Filled by core.
+type HealthStatus struct {
+	// State is the textual state: healthy, degraded, read-only, failed.
+	State string
+	// Code is the numeric state (0 healthy, 1 degraded, 2 read-only,
+	// 3 failed), monotone in severity so alerting can threshold on it.
+	Code int32
+	// ReadOnly reports whether mutating operations are currently rejected.
+	ReadOnly bool
+	// Detail summarises why the heap is not healthy, empty when it is.
+	Detail string `json:",omitempty"`
+}
+
 // EventsSnapshot summarises the journal.
 type EventsSnapshot struct {
 	Emitted     uint64
@@ -80,6 +93,7 @@ type Snapshot struct {
 	// flattened by name). Filled by core.
 	Counters map[string]uint64 `json:",omitempty"`
 	Subheaps []SubheapGauge    `json:",omitempty"`
+	Health   *HealthStatus     `json:",omitempty"`
 	Device   DeviceStats
 	Events   EventsSnapshot
 }
