@@ -3,14 +3,17 @@
 // levels, log states and lifetime counters.
 //
 //	poseidon-inspect heap.img
-//	poseidon-inspect -stats heap.img         # full telemetry snapshot
-//	poseidon-inspect -stats -json heap.img   # the same snapshot as JSON
+//	poseidon-inspect -stats heap.img           # full telemetry snapshot
+//	poseidon-inspect -stats -json heap.img     # the same snapshot as JSON
+//	poseidon-inspect -profile heap.img         # recovered allocation sites
+//	poseidon-inspect -profile -pprof p.pb.gz heap.img  # and write pprof
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"poseidon/internal/core"
@@ -19,10 +22,12 @@ import (
 )
 
 func main() {
-	stats := flag.Bool("stats", false, "print the full telemetry snapshot (latency, attribution, gauges, events) after loading")
+	stats := flag.Bool("stats", false, "print the full telemetry snapshot (latency, attribution, gauges, health, events) after loading")
 	asJSON := flag.Bool("json", false, "with -stats: print the snapshot as JSON instead of text")
+	profile := flag.Bool("profile", false, "print the allocation-site profile recovered from the image's persistent side-table")
+	pprofOut := flag.String("pprof", "", "with -profile: also write the profile as gzipped pprof protobuf to this file (go tool pprof compatible)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: poseidon-inspect [-stats [-json]] <heap-image>")
+		fmt.Fprintln(os.Stderr, "usage: poseidon-inspect [-stats [-json]] [-profile [-pprof out.pb.gz]] <heap-image>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -30,15 +35,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *stats, *asJSON); err != nil {
+	if err := run(os.Stdout, flag.Arg(0), *stats, *asJSON, *profile, *pprofOut); err != nil {
 		fmt.Fprintln(os.Stderr, "poseidon-inspect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, stats, asJSON bool) error {
+func run(out io.Writer, path string, stats, asJSON, profile bool, pprofOut string) error {
 	var tel *obs.Telemetry
-	if stats {
+	if stats || profile {
 		tel = obs.New()
 	}
 	dev, err := nvm.LoadFile(path, nvm.Options{Stats: stats})
@@ -49,16 +54,62 @@ func run(path string, stats, asJSON bool) error {
 	if err != nil {
 		return err
 	}
+	if profile {
+		return dumpProfile(out, h, pprofOut)
+	}
 	if !stats {
-		return h.Inspect(os.Stdout)
+		return h.Inspect(out)
 	}
 	// Offline snapshot: the load itself populates the recovery/scrub
 	// histograms and attribution; the gauges reflect the image's state.
 	snap := h.Metrics()
 	if asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(snap)
 	}
-	return obs.WriteText(os.Stdout, snap)
+	return obs.WriteText(out, snap)
+}
+
+// dumpProfile prints the allocation sites recovered from the image's
+// persistent side-table (leak attribution across the crash: live counts are
+// what the last snapshot generation recorded) and optionally writes the
+// pprof protobuf for go tool pprof.
+func dumpProfile(out io.Writer, h *core.Heap, pprofOut string) error {
+	prof := h.Telemetry().Profiler()
+	sites := prof.Sites()
+	fmt.Fprintf(out, "allocation-site profile: %d sites, boot epoch %d\n", len(sites), h.ProfileEpoch())
+	if len(sites) == 0 {
+		fmt.Fprintln(out, "  (empty: the image holds no persisted site table, or nothing was sampled)")
+	}
+	for _, s := range sites {
+		marker := ""
+		if s.Recovered {
+			marker = " [recovered]"
+		}
+		fmt.Fprintf(out, "  site %016x: live %d objects / %d bytes, cum %d allocs / %d bytes, first epoch %d%s\n",
+			s.Hash, s.LiveObjects, s.LiveBytes, s.AllocObjects, s.AllocBytes, s.FirstEpoch, marker)
+		for _, f := range s.Frames {
+			fmt.Fprintf(out, "      %s\n          %s:%d\n", f.Func, f.File, f.Line)
+		}
+	}
+	leaks := prof.LeakSites(h.ProfileEpoch())
+	live := 0
+	for _, s := range leaks {
+		if s.LiveBytes > 0 {
+			live++
+		}
+	}
+	fmt.Fprintf(out, "leak candidates (live since before epoch %d): %d sites\n", h.ProfileEpoch(), live)
+	if pprofOut != "" {
+		b, err := h.ProfilePprof()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(pprofOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "pprof profile written to %s (%d bytes)\n", pprofOut, len(b))
+	}
+	return nil
 }

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"poseidon/internal/core"
+	"poseidon/internal/obs"
+)
+
+// inspectLeakA and inspectLeakB are two distinct allocation sites whose
+// frames must survive into the persisted profile.
+//
+//go:noinline
+func inspectLeakA(t *testing.T, th *core.Thread) {
+	t.Helper()
+	for i := 0; i < 2; i++ {
+		if _, err := th.Alloc(100); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+//go:noinline
+func inspectLeakB(t *testing.T, th *core.Thread) {
+	t.Helper()
+	if _, err := th.Alloc(3000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildImage saves a heap image with a persisted two-site profile.
+func buildImage(t *testing.T) string {
+	t.Helper()
+	h, err := core.Create(core.Options{
+		Subheaps:        2,
+		SubheapUserSize: 1 << 20,
+		SubheapMetaSize: 256 << 10,
+		UndoLogSize:     64 << 10,
+		MaxThreads:      4,
+		HeapID:          0xBEEF,
+		CrashTracking:   true,
+		Telemetry:       obs.New(),
+		Profile:         core.ProfileOptions{Rate: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := h.Thread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inspectLeakA(t, th)
+	inspectLeakB(t, th)
+	th.Close()
+	if err := h.PersistProfile(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "heap.img")
+	if err := h.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestInspectPlain(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, buildImage(t), false, false, false, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no inspect output")
+	}
+}
+
+func TestInspectProfile(t *testing.T) {
+	path := buildImage(t)
+	pprofPath := filepath.Join(t.TempDir(), "p.pb.gz")
+	var buf bytes.Buffer
+	if err := run(&buf, path, false, false, true, pprofPath); err != nil {
+		t.Fatalf("run -profile: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"allocation-site profile: 2 sites, boot epoch 2",
+		"inspectLeakA",
+		"inspectLeakB",
+		"[recovered]",
+		"leak candidates (live since before epoch 2): 2 sites",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("profile output missing %q:\n%s", want, out)
+		}
+	}
+	// Site A: 2 live × 128 B; site B: 1 live × 4096 B (3000 rounds up).
+	if !strings.Contains(out, "live 2 objects / 256 bytes") ||
+		!strings.Contains(out, "live 1 objects / 4096 bytes") {
+		t.Fatalf("profile output has wrong byte counts:\n%s", out)
+	}
+	gz, err := os.ReadFile(pprofPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := obs.ParsePprof(gz)
+	if err != nil {
+		t.Fatalf("written pprof unparseable: %v", err)
+	}
+	if len(pp.Samples) != 2 {
+		t.Fatalf("pprof has %d samples, want 2", len(pp.Samples))
+	}
+}
+
+// TestInspectStatsJSONRoundTrip pins the offline JSON snapshot contract:
+// the output decodes back into obs.Snapshot and carries the health state
+// and self-healing repair counters.
+func TestInspectStatsJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, buildImage(t), true, true, false, ""); err != nil {
+		t.Fatalf("run -stats -json: %v", err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if snap.Health == nil || snap.Health.State != "healthy" || snap.Health.ReadOnly {
+		t.Fatalf("health = %+v", snap.Health)
+	}
+	for _, counter := range []string{"repaired_subheaps", "repaired_bytes", "mirror_restores", "quarantined_subheaps", "transient_retries"} {
+		if _, ok := snap.Counters[counter]; !ok {
+			t.Fatalf("snapshot missing counter %q (have %v)", counter, snap.Counters)
+		}
+	}
+	if snap.Profile == nil || snap.Profile.Sites != 2 || snap.Profile.Epoch != 2 {
+		t.Fatalf("profile block = %+v", snap.Profile)
+	}
+	if len(snap.Subheaps) == 0 {
+		t.Fatal("snapshot has no sub-heap gauges")
+	}
+}
+
+func TestInspectStatsText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, buildImage(t), true, false, false, ""); err != nil {
+		t.Fatalf("run -stats: %v", err)
+	}
+	if !strings.Contains(buf.String(), "health") {
+		// WriteText renders the health block; pin loosely to its presence.
+		t.Fatalf("stats text missing health section:\n%s", buf.String())
+	}
+}
+
+func TestInspectMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, filepath.Join(t.TempDir(), "nope.img"), false, false, false, "")
+	if err == nil {
+		t.Fatal("missing image accepted")
+	}
+}

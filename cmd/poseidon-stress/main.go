@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 
 	"poseidon/internal/core"
 	"poseidon/internal/nvm"
@@ -34,8 +36,11 @@ func run() error {
 		threads = flag.Int("threads", 4, "concurrent workers")
 		ops     = flag.Int("ops", 3000, "operations per worker per cycle")
 		seed    = flag.Int64("seed", 1, "randomness seed")
-		metrics = flag.String("metrics", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. :9120; empty = off)")
-		save    = flag.String("save", "", "save the final heap image to this path (e.g. for a poseidon-fsck audit)")
+		metrics  = flag.String("metrics", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. :9120; empty = off)")
+		save     = flag.String("save", "", "save the final heap image to this path (e.g. for a poseidon-fsck audit)")
+		profRate = flag.Int("profile-rate", 0, "sample 1-in-N allocations into the site profiler (0 = off); served at /debug/pprof/poseidon_heap")
+		trcRate  = flag.Int("trace-rate", 0, "sample 1-in-N operations as spans (0 = off); served at /debug/optrace")
+		optrace  = flag.String("optrace", "", "write the final op-span trace as Chrome trace-event JSON to this path")
 	)
 	flag.Parse()
 
@@ -47,6 +52,11 @@ func run() error {
 		MaxThreads:      *threads * 2,
 		CrashTracking:   true,
 		Telemetry:       tel,
+		Profile:         core.ProfileOptions{Rate: *profRate},
+		Trace:           core.TraceOptions{Rate: *trcRate},
+	}
+	if *optrace != "" && *trcRate <= 0 {
+		return errors.New("-optrace needs -trace-rate > 0")
 	}
 	h, err := core.Create(opts)
 	if err != nil {
@@ -60,6 +70,13 @@ func run() error {
 		// Saved on every exit path — a failing run leaves the image behind
 		// for a poseidon-fsck post-mortem.
 		defer func() {
+			if *profRate > 0 {
+				// Checkpoint the site table so the saved image carries the
+				// freshest profile, not the last paced snapshot.
+				if perr := cur.Load().PersistProfile(); perr != nil {
+					fmt.Fprintln(os.Stderr, "poseidon-stress: persisting profile:", perr)
+				}
+			}
 			if err := cur.Load().SaveFile(*save); err != nil {
 				fmt.Fprintln(os.Stderr, "poseidon-stress: saving image:", err)
 			} else {
@@ -67,17 +84,47 @@ func run() error {
 			}
 		}()
 	}
+	if *optrace != "" {
+		defer func() {
+			b := cur.Load().TraceJSON()
+			if werr := os.WriteFile(*optrace, b, 0o644); werr != nil {
+				fmt.Fprintln(os.Stderr, "poseidon-stress: writing optrace:", werr)
+			} else {
+				fmt.Printf("optrace: %s (%d bytes)\n", *optrace, len(b))
+			}
+		}()
+	}
 	if *metrics != "" {
-		srv, err := obs.Serve(*metrics, func() *obs.Snapshot { return cur.Load().Metrics() })
+		cfg := obs.MuxConfig{Snapshot: func() *obs.Snapshot { return cur.Load().Metrics() }}
+		if *profRate > 0 {
+			cfg.HeapProfile = func() ([]byte, error) { return cur.Load().ProfilePprof() }
+		}
+		if *trcRate > 0 {
+			cfg.Trace = func() []byte { return cur.Load().TraceJSON() }
+		}
+		srv, err := obs.ServeConfig(*metrics, cfg)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 		fmt.Printf("metrics: http://%s/metrics\n", srv.Addr)
 	}
+	// SIGINT/SIGTERM stop the soak after the current cycle's audit, so the
+	// deferred -save image and -optrace dump still happen — killing a soak
+	// mid-run is the normal way to end an open-ended profiling session.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+
 	var totalOps atomic.Uint64
 	var totalRecovered uint64
 	for cycle := 0; cycle < *cycles; cycle++ {
+		select {
+		case sig := <-stop:
+			fmt.Printf("%v: stopping after %d cycles\n", sig, cycle)
+			return nil
+		default:
+		}
 		// Arm a failpoint partway through the cycle's work on half the
 		// cycles, so both mid-operation and between-operation crashes are
 		// exercised.

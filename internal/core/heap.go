@@ -84,6 +84,26 @@ type Heap struct {
 	tel   *obs.Telemetry
 	sbRec *nvm.AttrRecorder
 
+	// prof is the allocation-site heap profiler (created whenever
+	// telemetry is on, so recovered profiles render even with sampling
+	// off); tracer is the sampled op-span tracer (nil unless
+	// Options.Trace.Rate > 0). Both nil costs one pointer check per hook.
+	prof   *obs.Profiler
+	tracer *obs.Tracer
+
+	// Profile persistence state (profile.go): a dedicated window writes
+	// side-table snapshots under profMu; profEpoch is the current boot
+	// epoch; profSeq/profSlot name the next snapshot generation and A/B
+	// slot; profPace counts sampled allocs to pace background persists.
+	profMu     sync.Mutex
+	profThread *mpk.Thread
+	profWin    mpk.Window
+	profSeq    uint64
+	profSlot   int
+	profEpoch  uint64
+	profWrote  bool // a snapshot generation exists (written or recovered)
+	profPace   atomic.Uint64
+
 	closed bool
 	mu     sync.Mutex // guards closed
 }
@@ -95,7 +115,7 @@ func Create(opts Options) (*Heap, error) {
 		return nil, err
 	}
 	lay, err := computeLayout(opts.Subheaps, opts.SubheapUserSize, opts.SubheapMetaSize,
-		opts.UndoLogSize, opts.MaxThreads, opts.MicroLogLaneSize, opts.magSlots())
+		opts.UndoLogSize, opts.MaxThreads, opts.MicroLogLaneSize, opts.magSlots(), defaultProfSize)
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +134,12 @@ func Create(opts Options) (*Heap, error) {
 	if err := h.format(); err != nil {
 		return nil, err
 	}
+	// A fresh image starts at boot epoch 1; a leak report asks for sites
+	// first seen before the current epoch, so epoch 0 is reserved for
+	// "never recorded".
+	h.profEpoch = 1
+	h.profSeq = 1
+	h.prof.SetEpoch(1)
 	h.recomputeHealth()
 	h.startScrubber()
 	return h, nil
@@ -135,9 +161,17 @@ func Load(dev *nvm.Device, opts Options) (*Heap, error) {
 	if h.tel != nil {
 		start = time.Now()
 	}
-	if err := h.recover(); err != nil {
-		return nil, err
+	// Recovery always records a span when tracing is on (no sampling roll):
+	// its timeline is exactly what the tracer exists to show.
+	tdone := h.traceForced(obs.OpRecovery, -1)
+	rerr := h.recover()
+	if tdone != nil {
+		tdone(rerr)
 	}
+	if rerr != nil {
+		return nil, rerr
+	}
+	h.loadProfile()
 	h.recomputeHealth()
 	if h.tel != nil {
 		h.tel.Record(obs.OpLoad, time.Since(start))
@@ -206,6 +240,21 @@ func assemble(dev *nvm.Device, lay layout, opts Options) (*Heap, error) {
 	if h.tel != nil {
 		h.sbRec = nvm.NewAttrRecorder(h.tel.Attribution(), nvm.ClassRoot)
 		h.sbWin = h.sbWin.WithRecorder(h.sbRec)
+		// The profiler exists whenever telemetry does (rate 0 = sampling
+		// off but recovered site tables still load and render); the tracer
+		// only when a trace rate was requested.
+		h.prof = obs.NewProfiler(opts.Profile.Rate)
+		h.tel.SetProfiler(h.prof)
+		if opts.Trace.Rate > 0 {
+			h.tracer = obs.NewTracer(opts.Trace.Rate, opts.Trace.Buffer)
+			h.tel.SetTracer(h.tracer)
+		}
+		// Side-table snapshot writes go through their own window so their
+		// flushes are attributed to ClassProfile, never to the operation
+		// that happened to trigger the paced persist.
+		h.profThread = unit.NewThread(defaultRights(opts))
+		h.profWin = mpk.NewWindow(dev, h.profThread).
+			WithRecorder(nvm.NewAttrRecorder(h.tel.Attribution(), nvm.ClassProfile))
 	}
 
 	h.freeLanes = make([]int, 0, lay.laneCount)
@@ -311,16 +360,17 @@ func (h *Heap) format() error {
 		{sbLaneSizeOff, h.lay.laneSize},
 		{sbUndoSizeOff, h.lay.undoSize},
 		{sbMagSlotsOff, h.lay.magSlots},
+		{sbProfSizeOff, h.lay.profSize},
 	}
 	for _, f := range fields {
 		if err := w.WriteU64(f.off, f.val); err != nil {
 			return err
 		}
 	}
-	// Flush every header field (including the magSlots word past the
-	// initialized slot — the initialized word itself is still zero here)
-	// before the commit point below makes them meaningful.
-	if err := w.Flush(0, sbMagSlotsOff+8); err != nil {
+	// Flush every header field (including the magSlots/profSize words past
+	// the initialized slot — the initialized word itself is still zero
+	// here) before the commit point below makes them meaningful.
+	if err := w.Flush(0, sbProfSizeOff+8); err != nil {
 		return err
 	}
 	w.Fence()
@@ -393,7 +443,7 @@ func readLayout(dev *nvm.Device) (layout, error) {
 	lay, err := computeLayout(
 		int(read(sbSubheapsOff)), read(sbUserSizeOff), read(sbMetaSizeOff),
 		read(sbUndoSizeOff), int(read(sbLaneCountOff)), read(sbLaneSizeOff),
-		read(sbMagSlotsOff))
+		read(sbMagSlotsOff), read(sbProfSizeOff))
 	if ioErr != nil {
 		return layout{}, fmt.Errorf("superblock read: %w", ioErr)
 	}
@@ -777,6 +827,9 @@ func (h *Heap) SaveFile(path string) error { return h.dev.SaveFile(path) }
 // an in-flight slice to finish). It does not save; call SaveFile first if
 // durability across process restarts is wanted.
 func (h *Heap) Close() error {
+	// Persist the final profile snapshot while the heap is still open
+	// (best-effort: a failed write leaves the previous generation valid).
+	_ = h.PersistProfile()
 	h.mu.Lock()
 	h.closed = true
 	stop := h.scrubStop

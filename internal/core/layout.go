@@ -5,6 +5,7 @@ import (
 
 	"poseidon/internal/memblock"
 	"poseidon/internal/nvm"
+	"poseidon/internal/plog"
 )
 
 // Persistent heap layout (paper Figure 4):
@@ -44,6 +45,13 @@ const (
 	// field, so they read zero — no manifest arena, magazines disabled —
 	// and the rest of the layout is byte-identical, so heapVersion stays 1.
 	sbMagSlotsOff = 96
+	// sbProfSizeOff records the byte size of the profile side-table arena
+	// (the persistent allocation-site table; see internal/plog/sites.go).
+	// The same backward-compat contract as sbMagSlotsOff: images written
+	// before the profiler existed read zero — no arena, profiles run
+	// DRAM-only — and the layout is otherwise byte-identical, so
+	// heapVersion stays 1.
+	sbProfSizeOff = 104
 
 	sbHeaderPages = 1
 	sbUndoOff     = sbHeaderPages * nvm.PageSize
@@ -100,16 +108,21 @@ type layout struct {
 	laneCount   int
 	laneSize    uint64
 	magSlots    uint64 // cache-manifest words per lane (0: no manifest arena)
+	profSize    uint64 // profile side-table arena bytes (0: no arena)
 	manifestOff uint64 // device offset of lane 0's cache manifest
+	profOff     uint64 // device offset of the profile side-table arena
 	subheapOff  uint64 // device offset of sub-heap 0
 	stride      uint64 // metaSize + userSize
 	capacity    uint64
 }
 
-func computeLayout(subheaps int, userSize, metaSize, undoSize uint64, laneCount int, laneSize, magSlots uint64) (layout, error) {
+func computeLayout(subheaps int, userSize, metaSize, undoSize uint64, laneCount int, laneSize, magSlots, profSize uint64) (layout, error) {
 	arena := uint64(laneCount) * laneSize
 	manOff := (sbLaneArena + arena + nvm.PageSize - 1) &^ (nvm.PageSize - 1)
-	subOff := (manOff + uint64(laneCount)*magSlots*8 + nvm.PageSize - 1) &^ (nvm.PageSize - 1)
+	profOff := (manOff + uint64(laneCount)*magSlots*8 + nvm.PageSize - 1) &^ (nvm.PageSize - 1)
+	// profSize == 0 (pre-profiler image) leaves subOff == profOff: the
+	// layout is byte-identical to one computed before the arena existed.
+	subOff := (profOff + profSize + nvm.PageSize - 1) &^ (nvm.PageSize - 1)
 	l := layout{
 		subheaps:    subheaps,
 		userSize:    userSize,
@@ -118,7 +131,9 @@ func computeLayout(subheaps int, userSize, metaSize, undoSize uint64, laneCount 
 		laneCount:   laneCount,
 		laneSize:    laneSize,
 		magSlots:    magSlots,
+		profSize:    profSize,
 		manifestOff: manOff,
+		profOff:     profOff,
 		subheapOff:  subOff,
 		stride:      metaSize + userSize,
 	}
@@ -159,6 +174,12 @@ func (l layout) laneBase(i int) uint64 {
 // Only meaningful when magSlots > 0.
 func (l layout) laneManifestBase(i int) uint64 {
 	return l.manifestOff + uint64(i)*l.magSlots*8
+}
+
+// profArena returns the profile side-table arena geometry. Zero-capacity
+// (Valid() false) on images provisioned before the profiler existed.
+func (l layout) profArena() plog.SiteArena {
+	return plog.NewSiteArena(l.profOff, l.profSize)
 }
 
 // memblockGeometry computes sub-heap i's metadata layout.

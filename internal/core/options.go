@@ -93,6 +93,22 @@ type Options struct {
 	// for a full-heap scan), quarantines any whose metadata fails, and
 	// immediately attempts a Repair. Zero value: disabled.
 	OnlineScrub OnlineScrubOptions
+	// Profile configures the allocation-site heap profiler: 1-in-Rate
+	// allocations are sampled, attributed to their caller stack, and
+	// aggregated per site (live objects/bytes + cumulative allocs/frees).
+	// The aggregate is periodically persisted into the heap image's site
+	// side-table so the profile survives crashes and restarts — the leak
+	// report "blocks live since before epoch E, by allocation site".
+	// Requires Telemetry. Zero value: sampling disabled (recovered profiles
+	// are still loaded and rendered when Telemetry is set, so offline
+	// inspection of a saved image works without sampling).
+	Profile ProfileOptions
+	// Trace configures the sampled op-span tracer: 1-in-Rate operations
+	// (alloc/free/tx/refill/ring-drain, plus every repair and recovery)
+	// record a span carrying duration and the flush/fence/write/retry
+	// sub-events the operation issued, into a fixed ring exported as Chrome
+	// trace-event JSON. Requires Telemetry. Zero value: disabled.
+	Trace TraceOptions
 	// DeviceStats enables flush/fence counters on the device.
 	DeviceStats bool
 	// Telemetry, when non-nil, wires the heap into the telemetry registry:
@@ -133,6 +149,23 @@ type MagazineOptions struct {
 	Classes int
 }
 
+// ProfileOptions configures the allocation-site heap profiler.
+type ProfileOptions struct {
+	// Rate samples 1-in-Rate allocations (1 = every allocation). 0
+	// disables sampling; the off path costs one nil pointer check on the
+	// thread's alloc/free wrappers.
+	Rate int
+}
+
+// TraceOptions configures the sampled op-span tracer.
+type TraceOptions struct {
+	// Rate samples 1-in-Rate operations (1 = every operation). 0 disables
+	// tracing; the off path costs one nil pointer check per hook site.
+	Rate int
+	// Buffer is the span ring capacity. Default 4096.
+	Buffer int
+}
+
 // OnlineScrubOptions paces the opt-in background scrubber.
 type OnlineScrubOptions struct {
 	// Interval is the pause between full scrub passes; 0 disables the
@@ -161,6 +194,14 @@ const (
 	// the feature can be enabled on an existing image by reopening it
 	// with Magazines set — no reformat needed.
 	defaultMagSlots = defaultMagClasses * defaultMagCapacity
+
+	// defaultProfSize is the profile side-table arena every new image
+	// provisions (two checksummed snapshot slots of ~32 KiB payload each)
+	// even when profiling is off, so profiling can be enabled on an
+	// existing image later — same reopen-to-enable contract as magazines.
+	// Old images read a zero sbProfSize word: no arena, profiling runs
+	// DRAM-only (samples aggregate but nothing persists).
+	defaultProfSize = 64 << 10
 )
 
 // magSlots returns the per-lane manifest word count a new image should
@@ -243,6 +284,15 @@ func (o Options) validate() error {
 	}
 	if o.OnlineScrub.Interval < 0 || o.OnlineScrub.Throttle < 0 {
 		return fmt.Errorf("poseidon: online scrub interval/throttle must not be negative")
+	}
+	if o.Profile.Rate < 0 {
+		return fmt.Errorf("poseidon: profile sample rate %d must not be negative", o.Profile.Rate)
+	}
+	if o.Trace.Rate < 0 || o.Trace.Buffer < 0 {
+		return fmt.Errorf("poseidon: trace rate/buffer must not be negative")
+	}
+	if (o.Profile.Rate > 0 || o.Trace.Rate > 0) && o.Telemetry == nil {
+		return fmt.Errorf("poseidon: Profile/Trace require Options.Telemetry")
 	}
 	if o.Magazines.Capacity != 0 {
 		if o.Magazines.Capacity < 2 || o.Magazines.Capacity > 4096 {

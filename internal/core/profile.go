@@ -1,0 +1,310 @@
+package core
+
+// Heap-side glue for the allocation-site profiler and op-span tracer:
+// persistence of the profiler's site table into the image's side-table
+// arena, recovery of the previous table at Load, and the trace-span
+// helpers the operation paths call.
+//
+// Crash-consistency of the side-table (see internal/plog/sites.go for the
+// format): snapshots alternate between two slots, payload-then-header with
+// a fence between, so the newest VALID slot is always a complete snapshot
+// from some earlier moment — a crash can lose at most the generation being
+// written. A table where neither slot validates on a non-blank arena is
+// torn; that is detected at Load, journalled (EventProfileReset), and the
+// profile simply starts fresh. The side-table carries no allocator
+// metadata, so a torn table can never quarantine a sub-heap or affect
+// allocation correctness.
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"poseidon/internal/nvm"
+	"poseidon/internal/obs"
+	"poseidon/internal/plog"
+)
+
+// profPersistInterval paces the background side-table writes: every Nth
+// sampled allocation attempts a snapshot (TryLock — a persist already in
+// flight is never waited on).
+const profPersistInterval = 64
+
+// profCharge is the bytes a sampled allocation is charged: the power-of-two
+// block the allocator actually carves (min class 64 B), so profile bytes
+// line up with heap occupancy rather than request sizes.
+func profCharge(size uint64) uint64 {
+	if size <= 64 {
+		return 64
+	}
+	return 1 << bits.Len64(size-1)
+}
+
+// ProfileEpoch returns the current boot epoch (1 on a fresh heap,
+// incremented by every Load that found a valid side-table snapshot).
+func (h *Heap) ProfileEpoch() uint64 { return h.profEpoch }
+
+// loadProfile restores the persisted site table after recovery: the newest
+// valid snapshot slot seeds the profiler with its recovered sites and
+// advances the boot epoch past the one that wrote it. Never fails the
+// load — a torn or unreadable table resets the profile and journals why.
+func (h *Heap) loadProfile() {
+	if h.prof == nil {
+		return
+	}
+	h.profEpoch = 1
+	h.profSeq = 1
+	arena := h.lay.profArena()
+	if !arena.Valid() {
+		// Pre-profiler image: no arena. Profiles aggregate in DRAM only.
+		h.prof.SetEpoch(1)
+		return
+	}
+
+	type slotState struct {
+		hdr   plog.SiteHeader
+		blob  []byte
+		valid bool
+		blank bool
+	}
+	var slots [plog.SiteSlots]slotState
+	for i := range slots {
+		var hdrBuf [plog.SiteHeaderSize]byte
+		if err := h.retry(func() error { return h.profWin.Read(arena.HeaderOff(i), hdrBuf[:]) }); err != nil {
+			continue // unreadable counts as neither blank nor valid
+		}
+		blank := true
+		for _, b := range hdrBuf {
+			if b != 0 {
+				blank = false
+				break
+			}
+		}
+		slots[i].blank = blank
+		hdr, ok := plog.DecodeSiteHeader(hdrBuf[:])
+		if !ok || hdr.PayloadLen > arena.PayloadCap() {
+			continue
+		}
+		blob := make([]byte, hdr.PayloadLen)
+		if err := h.retry(func() error { return h.profWin.Read(arena.PayloadOff(i), blob) }); err != nil {
+			continue
+		}
+		if plog.SiteChecksum(hdr.Seq, blob) != hdr.Checksum {
+			continue
+		}
+		slots[i] = slotState{hdr: hdr, blob: blob, valid: true, blank: false}
+	}
+
+	best := -1
+	for i, s := range slots {
+		if s.valid && (best < 0 || s.hdr.Seq > slots[best].hdr.Seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		if !slots[0].blank || !slots[1].blank {
+			// Non-blank arena, no valid snapshot: the table is torn. Reset
+			// the (empty) profile and journal it; allocation correctness is
+			// untouched — the side-table holds no allocator metadata.
+			h.prof.Reset()
+			h.tel.Emit(obs.EventProfileReset, -1,
+				"profile side-table torn: no valid snapshot slot; profile reset")
+		}
+		h.prof.SetEpoch(1)
+		return
+	}
+
+	recs, err := plog.DecodeSites(slots[best].blob)
+	if err != nil {
+		h.prof.Reset()
+		h.tel.Emit(obs.EventProfileReset, -1,
+			fmt.Sprintf("profile side-table decode failed: %v; profile reset", err))
+		h.prof.SetEpoch(1)
+		return
+	}
+	h.prof.AdoptRecovered(siteRecordsToStats(recs))
+	h.profEpoch = slots[best].hdr.Epoch + 1
+	h.profSeq = slots[best].hdr.Seq + 1
+	h.profSlot = 1 - best
+	h.profWrote = true
+	h.prof.SetEpoch(h.profEpoch)
+}
+
+func siteRecordsToStats(recs []plog.SiteRecord) []obs.SiteStat {
+	out := make([]obs.SiteStat, 0, len(recs))
+	for _, r := range recs {
+		frames := make([]obs.SiteFrame, 0, len(r.Frames))
+		for _, f := range r.Frames {
+			frames = append(frames, obs.SiteFrame{Func: f.Func, File: f.File, Line: int(f.Line)})
+		}
+		out = append(out, obs.SiteStat{
+			Hash:         r.Hash,
+			Frames:       frames,
+			LiveObjects:  r.LiveObjects,
+			LiveBytes:    r.LiveBytes,
+			AllocObjects: r.AllocObjects,
+			AllocBytes:   r.AllocBytes,
+			FreeObjects:  r.FreeObjects,
+			FreeBytes:    r.FreeBytes,
+			FirstEpoch:   r.FirstEpoch,
+			Recovered:    true,
+		})
+	}
+	return out
+}
+
+func siteStatsToRecords(sites []obs.SiteStat) []plog.SiteRecord {
+	out := make([]plog.SiteRecord, 0, len(sites))
+	for _, s := range sites {
+		frames := make([]plog.SiteFrame, 0, len(s.Frames))
+		for _, f := range s.Frames {
+			frames = append(frames, plog.SiteFrame{Func: f.Func, File: f.File, Line: uint32(f.Line)})
+		}
+		out = append(out, plog.SiteRecord{
+			Hash:         s.Hash,
+			LiveObjects:  s.LiveObjects,
+			LiveBytes:    s.LiveBytes,
+			AllocObjects: s.AllocObjects,
+			AllocBytes:   s.AllocBytes,
+			FreeObjects:  s.FreeObjects,
+			FreeBytes:    s.FreeBytes,
+			FirstEpoch:   s.FirstEpoch,
+			Frames:       frames,
+		})
+	}
+	return out
+}
+
+// PersistProfile writes the profiler's current site table into the image's
+// side-table arena (one snapshot generation: payload, fence, header,
+// fence). Safe to call at any time; a failed or interrupted write leaves
+// the previous generation intact. No-op on heaps without telemetry, without
+// an arena (pre-profiler image), or in read-only health.
+func (h *Heap) PersistProfile() error {
+	if h.prof == nil || !h.lay.profArena().Valid() {
+		return nil
+	}
+	if h.writable() != nil {
+		return nil // read-only heap: keep the last good snapshot
+	}
+	h.profMu.Lock()
+	defer h.profMu.Unlock()
+	return h.persistProfileLocked()
+}
+
+// maybePersistProfile is the paced background persist on the sampled-alloc
+// path: every profPersistInterval-th sample tries a snapshot, skipping if
+// one is already in flight.
+func (h *Heap) maybePersistProfile() {
+	if h.profPace.Add(1)%profPersistInterval != 0 {
+		return
+	}
+	if !h.lay.profArena().Valid() || h.writable() != nil {
+		return
+	}
+	if !h.profMu.TryLock() {
+		return
+	}
+	_ = h.persistProfileLocked()
+	h.profMu.Unlock()
+}
+
+// persistProfileLocked writes one snapshot generation. Caller holds profMu.
+func (h *Heap) persistProfileLocked() error {
+	sites := h.prof.Sites()
+	if len(sites) == 0 && !h.profWrote {
+		return nil // nothing sampled, nothing recovered: leave the arena blank
+	}
+	arena := h.lay.profArena()
+	blob, _ := plog.EncodeSites(siteStatsToRecords(sites), arena.PayloadCap())
+	hdr := plog.EncodeSiteHeader(plog.SiteHeader{
+		Seq:        h.profSeq,
+		PayloadLen: uint64(len(blob)),
+		Checksum:   plog.SiteChecksum(h.profSeq, blob),
+		Epoch:      h.profEpoch,
+	})
+	slot := h.profSlot
+
+	h.grant(h.profThread)
+	defer h.revoke(h.profThread)
+	w := h.profWin
+	// Payload first, durably, THEN the header that makes it meaningful: a
+	// crash between the fences leaves the slot header stale (still naming
+	// the previous generation or nothing), so no reader ever sees a header
+	// that points at half-written bytes.
+	if err := w.Write(arena.PayloadOff(slot), blob); err != nil {
+		return err
+	}
+	if err := w.Flush(arena.PayloadOff(slot), uint64(len(blob))); err != nil {
+		return err
+	}
+	w.Fence()
+	if err := w.Write(arena.HeaderOff(slot), hdr[:]); err != nil {
+		return err
+	}
+	if err := w.Flush(arena.HeaderOff(slot), plog.SiteHeaderSize); err != nil {
+		return err
+	}
+	w.Fence()
+
+	h.profSeq++
+	h.profSlot = 1 - slot
+	h.profWrote = true
+	h.prof.NotePersisted()
+	return nil
+}
+
+// ProfilePprof renders the current allocation-site profile as a gzipped
+// pprof protobuf — the bytes /debug/pprof/poseidon_heap serves.
+func (h *Heap) ProfilePprof() ([]byte, error) {
+	if h.prof == nil {
+		return nil, fmt.Errorf("poseidon: profiling not enabled (Options.Telemetry required)")
+	}
+	return h.prof.WritePprofGzip()
+}
+
+// TraceJSON renders the buffered op spans as Chrome trace-event JSON — the
+// bytes /debug/optrace serves. Empty trace on heaps without Options.Trace.
+func (h *Heap) TraceJSON() []byte { return h.tracer.WriteChromeTrace() }
+
+// traceForced opens a span that records unconditionally (no sampling
+// decision) — for rare, long operations like recovery and repair whose
+// timeline is the whole point of the tracer. Device-op counts are diffed
+// from the whole attribution table, which is exact while the operation has
+// the heap to itself (load-time recovery) and best-effort otherwise.
+// Returns nil when tracing is off.
+func (h *Heap) traceForced(op obs.Op, subheap int) func(error) {
+	if h.tracer == nil {
+		return nil
+	}
+	start := time.Now()
+	w0, f0, fe0 := attrTotals(h.tel.Attribution().Snapshot())
+	r0 := h.transientRetries.Load()
+	return func(err error) {
+		w1, f1, fe1 := attrTotals(h.tel.Attribution().Snapshot())
+		sp := obs.Span{
+			Op:      op,
+			Subheap: subheap,
+			Lane:    -1,
+			StartNS: start.UnixNano(),
+			DurNS:   time.Since(start).Nanoseconds(),
+			Writes:  w1 - w0,
+			Flushes: f1 - f0,
+			Fences:  fe1 - fe0,
+			Retries: h.transientRetries.Load() - r0,
+		}
+		if err != nil {
+			sp.Err = err.Error()
+		}
+		h.tracer.Record(sp)
+	}
+}
+
+func attrTotals(s nvm.AttrSnapshot) (writes, flushes, fences uint64) {
+	for _, c := range s {
+		writes += c.Writes
+		flushes += c.Flushes
+		fences += c.Fences
+	}
+	return
+}

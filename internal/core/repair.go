@@ -53,7 +53,13 @@ func (h *Heap) Repair(subheap int) error {
 	s.mu.Lock()
 	h.grant(s.thread)
 	s.setClass(nvm.ClassRecovery)
+	// Repairs always record a span when tracing is on — they are rare and
+	// their flush/fence cost is exactly what an operator wants to see.
+	tdone := h.traceForced(obs.OpRepair, subheap)
 	mirrored, err := s.repairLocked()
+	if tdone != nil {
+		tdone(err)
+	}
 	h.revoke(s.thread)
 	s.mu.Unlock()
 	if h.tel != nil {

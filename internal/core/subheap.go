@@ -373,11 +373,45 @@ func (s *subheap) format() error {
 	return nil
 }
 
+// traceBegin opens a sampled op span for this sub-heap: nil (free) unless
+// the tracer exists AND elected this operation. The returned closure diffs
+// the sub-heap recorder's write/flush/fence totals and must therefore run
+// while mu is still held — register its defer AFTER the unlock defer so
+// LIFO ordering fires it first.
+func (s *subheap) traceBegin(op obs.Op, bytes uint64) func(error) {
+	tr := s.h.tracer
+	if tr == nil || !tr.Sampled() {
+		return nil
+	}
+	start := time.Now()
+	m := s.rec.Mark()
+	r0 := s.h.transientRetries.Load()
+	return func(err error) {
+		d := s.rec.Since(m)
+		sp := obs.Span{
+			Op:      op,
+			Subheap: s.id,
+			Lane:    -1,
+			StartNS: start.UnixNano(),
+			DurNS:   time.Since(start).Nanoseconds(),
+			Writes:  d.Writes,
+			Flushes: d.Flushes,
+			Fences:  d.Fences,
+			Retries: s.h.transientRetries.Load() - r0,
+			Bytes:   bytes,
+		}
+		if err != nil {
+			sp.Err = err.Error()
+		}
+		tr.Record(sp)
+	}
+}
+
 // alloc carves a block of at least size bytes out of this sub-heap and
 // returns its device offset (paper §5.2). If lane is non-nil the allocation
 // is transactional: its address is persisted to the micro-log lane before
 // the undo log truncates (§5.3).
-func (s *subheap) alloc(size uint64, lane *plog.MicroLog) (uint64, error) {
+func (s *subheap) alloc(size uint64, lane *plog.MicroLog) (devOff uint64, err error) {
 	if s.isQuarantined() {
 		return 0, fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.quarantineReason())
 	}
@@ -391,10 +425,15 @@ func (s *subheap) alloc(size uint64, lane *plog.MicroLog) (uint64, error) {
 		return 0, err
 	}
 	// Tag after ensureReady so lazy formatting stays charged to ClassFormat.
+	op := obs.OpAlloc
 	if lane != nil {
 		s.setClass(nvm.ClassTxAlloc)
+		op = obs.OpTxAlloc
 	} else {
 		s.setClass(nvm.ClassAlloc)
+	}
+	if tdone := s.traceBegin(op, size); tdone != nil {
+		defer func() { tdone(err) }()
 	}
 	// The alloc slow path is a drain point: we already paid for the lock.
 	if err := s.maybeDrainLocked(); err != nil {
@@ -602,7 +641,7 @@ func (s *subheap) free(blockOff uint64) error {
 // freeAs is free with an explicit attribution class: recovery rollback of
 // uncommitted transactional allocations charges ClassTxFree instead of
 // ClassFree so the two show up separately in the amplification table.
-func (s *subheap) freeAs(blockOff uint64, cls nvm.OpClass) error {
+func (s *subheap) freeAs(blockOff uint64, cls nvm.OpClass) (err error) {
 	if s.isQuarantined() {
 		return fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.quarantineReason())
 	}
@@ -616,6 +655,9 @@ func (s *subheap) freeAs(blockOff uint64, cls nvm.OpClass) error {
 		return err
 	}
 	s.setClass(cls)
+	if tdone := s.traceBegin(obs.OpFree, 0); tdone != nil {
+		defer func() { tdone(err) }()
+	}
 	// Local frees are a drain point too ("per N local ops").
 	if err := s.maybeDrainLocked(); err != nil {
 		return err
@@ -762,6 +804,9 @@ func (s *subheap) drainRingLocked(limit int) (int, error) {
 	g := s.mgr.Geometry()
 	drained := 0
 	var err error
+	if tdone := s.traceBegin(obs.OpDrain, 0); tdone != nil {
+		defer func() { tdone(err) }()
+	}
 	for limit <= 0 || drained < limit {
 		ticket, ok := r.PeekDrain(drained)
 		if !ok {
@@ -908,7 +953,7 @@ func (s *subheap) timeDrain() func() {
 // errNoFreeBlock surfaces so the caller can fall back to the full
 // pressure loop of alloc. An undo log too small for the batch halves
 // want and retries.
-func (s *subheap) refillMagazine(class, want int, man plog.Manifest, slot0 uint64) ([]uint64, error) {
+func (s *subheap) refillMagazine(class, want int, man plog.Manifest, slot0 uint64) (_ []uint64, err error) {
 	if s.isQuarantined() {
 		return nil, fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.quarantineReason())
 	}
@@ -928,6 +973,9 @@ func (s *subheap) refillMagazine(class, want int, man plog.Manifest, slot0 uint6
 	done := s.timeRefill()
 	defer done()
 	g := s.mgr.Geometry()
+	if tdone := s.traceBegin(obs.OpRefill, uint64(want)*g.ClassSize(class)); tdone != nil {
+		defer func() { tdone(err) }()
+	}
 	// Same pressure-recovery ladder as the alloc slow path: hash-table
 	// pressure defragments the probe window then extends the table; space
 	// pressure drains the remote ring then merges free lists. stageCarves

@@ -37,6 +37,14 @@ type Thread struct {
 	// cache manifest adjacent to this lane. See magazine.go.
 	mag *magazine
 
+	// prof/profLeft drive allocation-site sampling: prof is non-nil only
+	// when sampling is on (Options.Profile.Rate > 0), so a disabled
+	// profiler costs the alloc path exactly one nil check. profLeft is this
+	// thread's countdown to the next sample — deterministic 1-in-rate with
+	// no hot-path atomics (a Thread is single-goroutine by contract).
+	prof     *obs.Profiler
+	profLeft int
+
 	closed bool
 }
 
@@ -80,6 +88,10 @@ func (h *Heap) ThreadOn(shard int) (*Thread, error) {
 		return nil, err
 	}
 	t := &Thread{h: h, shard: shard, lane: lane, laneI: laneI, pkru: pkru, win: win, rec: rec}
+	if h.prof != nil && h.prof.Rate() > 0 {
+		t.prof = h.prof
+		t.profLeft = h.prof.Rate()
+	}
 	if h.magsOn && !h.rawAttach {
 		t.mag = newMagazine(h.magClasses, h.magCap,
 			plog.NewManifest(h.lay.laneManifestBase(laneI), h.lay.magSlots))
@@ -138,7 +150,24 @@ func (t *Thread) Alloc(size uint64) (NVMPtr, error) {
 	start := time.Now()
 	p, err := t.alloc(size)
 	t.h.tel.RecordOn(t.laneI, obs.OpAlloc, time.Since(start))
+	if err == nil && t.prof != nil {
+		t.profSample(p, size)
+	}
 	return p, err
+}
+
+// profSample is the allocation-site sampling countdown: every rate-th
+// successful allocation on this thread captures its call stack and charges
+// the carved block (not the request) to the site, then paces a background
+// side-table persist.
+func (t *Thread) profSample(p NVMPtr, size uint64) {
+	t.profLeft--
+	if t.profLeft > 0 {
+		return
+	}
+	t.profLeft = t.prof.Rate()
+	t.prof.SampleAlloc(p.Loc(), profCharge(size), 2)
+	t.h.maybePersistProfile()
 }
 
 func (t *Thread) alloc(size uint64) (NVMPtr, error) {
@@ -176,6 +205,9 @@ func (t *Thread) TxAlloc(size uint64, isEnd bool) (NVMPtr, error) {
 	start := time.Now()
 	p, err := t.txAlloc(size, isEnd)
 	t.h.tel.RecordOn(t.laneI, obs.OpTxAlloc, time.Since(start))
+	if err == nil && t.prof != nil {
+		t.profSample(p, size)
+	}
 	return p, err
 }
 
@@ -259,6 +291,11 @@ func (t *Thread) Free(p NVMPtr) error {
 		return err
 	}
 	t.h.tel.RecordOn(t.laneI, obs.OpFree, time.Since(start))
+	// Every successful free checks the live table (not sampled): a sampled
+	// allocation's site must be decremented whichever thread frees it.
+	if t.prof != nil {
+		t.prof.SampleFree(p.Loc())
+	}
 	return nil
 }
 

@@ -32,12 +32,13 @@ const (
 	ClassScrub
 	ClassRoot
 	ClassUser
+	ClassProfile // profiler side-table snapshot writes
 	NumClasses
 )
 
 var classNames = [NumClasses]string{
 	"other", "alloc", "free", "txalloc", "txfree", "defrag",
-	"format", "recovery", "scrub", "root", "user",
+	"format", "recovery", "scrub", "root", "user", "profile",
 }
 
 func (c OpClass) String() string {
@@ -116,6 +117,14 @@ func (a *Attribution) Snapshot() AttrSnapshot {
 type AttrRecorder struct {
 	attr  *Attribution
 	class OpClass
+
+	// Running op totals for span tracing. Plain fields under the owner's
+	// serialization, like class: the tracer snapshots them with Mark at
+	// span start and diffs with Since at span end, so a sampled span
+	// carries exactly the writes/flushes/fences its operation issued.
+	writes  uint64
+	flushes uint64
+	fences  uint64
 }
 
 // NewAttrRecorder returns a recorder charging a, starting in class c.
@@ -131,15 +140,41 @@ func (r *AttrRecorder) SetClass(c OpClass) { r.class = c }
 func (r *AttrRecorder) Class() OpClass { return r.class }
 
 // Write charges one write of n bytes.
-func (r *AttrRecorder) Write(n uint64) { r.attr.ChargeWrite(r.class, n) }
+func (r *AttrRecorder) Write(n uint64) {
+	r.attr.ChargeWrite(r.class, n)
+	r.writes++
+}
 
 // Flush charges the cachelines covering an [off, off+n) flush.
 func (r *AttrRecorder) Flush(off, n uint64) {
-	r.attr.ChargeFlush(r.class, FlushLines(off, n))
+	lines := FlushLines(off, n)
+	r.attr.ChargeFlush(r.class, lines)
+	r.flushes += lines
 }
 
 // Fence charges one ordering barrier.
-func (r *AttrRecorder) Fence() { r.attr.ChargeFence(r.class) }
+func (r *AttrRecorder) Fence() {
+	r.attr.ChargeFence(r.class)
+	r.fences++
+}
+
+// OpMark is a point-in-time snapshot of a recorder's running totals.
+type OpMark struct{ Writes, Flushes, Fences uint64 }
+
+// Mark snapshots the recorder's running totals. Owner-serialized, like
+// SetClass.
+func (r *AttrRecorder) Mark() OpMark {
+	return OpMark{Writes: r.writes, Flushes: r.flushes, Fences: r.fences}
+}
+
+// Since returns the device ops issued through the recorder since m.
+func (r *AttrRecorder) Since(m OpMark) OpMark {
+	return OpMark{
+		Writes:  r.writes - m.Writes,
+		Flushes: r.flushes - m.Flushes,
+		Fences:  r.fences - m.Fences,
+	}
+}
 
 // FlushLines returns the number of cachelines a Flush of [off, off+n)
 // touches — the same arithmetic the device's own flush counter uses.

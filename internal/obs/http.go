@@ -10,6 +10,19 @@ import (
 	"time"
 )
 
+// MuxConfig configures the telemetry HTTP endpoint. Snapshot is required;
+// the rest are optional feature hooks.
+type MuxConfig struct {
+	// Snapshot is called once per scrape; must be safe for concurrent use.
+	Snapshot func() *Snapshot
+	// HeapProfile, when set, serves /debug/pprof/poseidon_heap: the
+	// allocation-site profile as gzipped pprof protobuf.
+	HeapProfile func() ([]byte, error)
+	// Trace, when set, serves /debug/optrace: buffered op spans as Chrome
+	// trace-event JSON.
+	Trace func() []byte
+}
+
 // NewMux builds the metrics endpoint served by the -metrics flag of the
 // poseidon tools:
 //
@@ -21,7 +34,37 @@ import (
 //
 // snap is called once per scrape; it must be safe for concurrent use.
 func NewMux(snap func() *Snapshot) *http.ServeMux {
+	return NewMuxFrom(MuxConfig{Snapshot: snap})
+}
+
+// NewMuxFrom builds the endpoint with optional profiler/tracer routes:
+//
+//	/debug/pprof/poseidon_heap  allocation-site heap profile (pprof protobuf)
+//	/debug/optrace              sampled op spans (Chrome trace-event JSON)
+//
+// Both are registered only when their hooks are set; the specific
+// poseidon_heap pattern takes precedence over the /debug/pprof/ index.
+func NewMuxFrom(cfg MuxConfig) *http.ServeMux {
+	snap := cfg.Snapshot
 	mux := http.NewServeMux()
+	if cfg.HeapProfile != nil {
+		mux.HandleFunc("/debug/pprof/poseidon_heap", func(w http.ResponseWriter, r *http.Request) {
+			b, err := cfg.HeapProfile()
+			if err != nil {
+				http.Error(w, fmt.Sprintf("heap profile: %v", err), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", `attachment; filename="poseidon_heap.pb.gz"`)
+			_, _ = w.Write(b)
+		})
+	}
+	if cfg.Trace != nil {
+		mux.HandleFunc("/debug/optrace", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(cfg.Trace())
+		})
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WritePrometheus(w, snap())
@@ -76,11 +119,16 @@ type Server struct {
 // in a background goroutine and returns once the listener is bound, so the
 // caller can print the resolved address before starting work.
 func Serve(addr string, snap func() *Snapshot) (*Server, error) {
+	return ServeConfig(addr, MuxConfig{Snapshot: snap})
+}
+
+// ServeConfig is Serve with the full endpoint configuration.
+func ServeConfig(addr string, cfg MuxConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewMux(snap), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: NewMuxFrom(cfg), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
 }

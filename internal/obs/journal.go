@@ -22,12 +22,13 @@ const (
 	EventFreeRejected                    // Thread.Free rejected an invalid or double free
 	EventRepair                          // a quarantined sub-heap was repaired (or repair failed)
 	EventHealthChange                    // the heap's health state machine transitioned
+	EventProfileReset                    // persistent profile side-table was torn; profile reset
 	NumEventKinds
 )
 
 var eventKindNames = [NumEventKinds]string{
 	"quarantine", "transient_retry", "scrub_finding", "crash", "recovery", "violation",
-	"free_rejected", "repair", "health_change",
+	"free_rejected", "repair", "health_change", "profile_reset",
 }
 
 func (k EventKind) String() string {

@@ -77,6 +77,11 @@ type Telemetry struct {
 	hists   [NumOps]*Histogram
 	journal *Journal
 	attr    *nvm.Attribution
+
+	// prof and tracer are wired by core when profiling/tracing is enabled
+	// so snapshots and the HTTP mux can reach them; nil otherwise.
+	prof   *Profiler
+	tracer *Tracer
 }
 
 // New creates a telemetry registry with default options.
@@ -104,6 +109,47 @@ func (t *Telemetry) Attribution() *nvm.Attribution {
 		return nil
 	}
 	return t.attr
+}
+
+// SetProfiler attaches the heap profiler so snapshots summarise it.
+// Nil-safe on both sides.
+func (t *Telemetry) SetProfiler(p *Profiler) {
+	if t != nil {
+		t.prof = p
+	}
+}
+
+// Profiler returns the attached heap profiler, nil when profiling is off.
+func (t *Telemetry) Profiler() *Profiler {
+	if t == nil {
+		return nil
+	}
+	return t.prof
+}
+
+// SetTracer attaches the op-span tracer. Nil-safe on both sides.
+func (t *Telemetry) SetTracer(tr *Tracer) {
+	if t != nil {
+		t.tracer = tr
+	}
+}
+
+// Tracer returns the attached op-span tracer, nil when tracing is off.
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// JournalDropped returns how many journal events the fixed ring displaced
+// before they were read — the saturation signal behind
+// poseidon_journal_dropped_total. Nil-safe.
+func (t *Telemetry) JournalDropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.journal.Overwritten()
 }
 
 // Record adds one observation for op on shard 0. Nil-safe.

@@ -1,0 +1,112 @@
+package obs_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"poseidon/internal/obs"
+)
+
+func pprofSampleFor(t *testing.T, prof *obs.PprofProfile, fn string) obs.PprofSample {
+	t.Helper()
+	for _, s := range prof.Samples {
+		for _, f := range s.Frames {
+			if strings.Contains(f.Func, fn) {
+				return s
+			}
+		}
+	}
+	t.Fatalf("no pprof sample with frame %q among %d samples", fn, len(prof.Samples))
+	return obs.PprofSample{}
+}
+
+func TestPprofRoundTrip(t *testing.T) {
+	p := obs.NewProfiler(8)
+	p.SetEpoch(2)
+	for i := 0; i < 2; i++ { // one call line = one site
+		sampleSiteA(p, uint64(1+i), 128)
+	}
+	sampleSiteB(p, 3, 512)
+	p.SampleFree(2)
+
+	prof, err := obs.ParsePprof(p.WritePprof())
+	if err != nil {
+		t.Fatalf("ParsePprof: %v", err)
+	}
+	wantTypes := []string{"inuse_objects/count", "inuse_space/bytes", "alloc_objects/count", "alloc_space/bytes"}
+	if !reflect.DeepEqual(prof.SampleTypes, wantTypes) {
+		t.Fatalf("sample types = %v, want %v", prof.SampleTypes, wantTypes)
+	}
+	if prof.Period != 8 {
+		t.Fatalf("period = %d, want the sampling rate 8", prof.Period)
+	}
+
+	// Values are scaled by the rate: site A has 1 live (one freed) and 2
+	// cumulative sampled allocations of 128 B.
+	a := pprofSampleFor(t, prof, "sampleSiteA")
+	if want := []int64{1 * 8, 128 * 8, 2 * 8, 256 * 8}; !reflect.DeepEqual(a.Values, want) {
+		t.Fatalf("site A values = %v, want %v", a.Values, want)
+	}
+	if a.NumLabels["first_epoch"] != 2 {
+		t.Fatalf("first_epoch label = %v", a.NumLabels)
+	}
+	if _, ok := a.Labels["recovered"]; ok {
+		t.Fatal("live site carries the recovered label")
+	}
+	if !strings.Contains(a.Frames[0].Func, "sampleSiteA") || a.Frames[0].Line == 0 {
+		t.Fatalf("site A leading frame = %+v", a.Frames[0])
+	}
+	b := pprofSampleFor(t, prof, "sampleSiteB")
+	if want := []int64{1 * 8, 512 * 8, 1 * 8, 512 * 8}; !reflect.DeepEqual(b.Values, want) {
+		t.Fatalf("site B values = %v, want %v", b.Values, want)
+	}
+}
+
+func TestPprofRecoveredSitesUnscaled(t *testing.T) {
+	// A recovered-only profiler (rate 0, e.g. poseidon-inspect offline):
+	// values pass through unscaled and carry recovered="true".
+	p := obs.NewProfiler(0)
+	p.SetEpoch(2)
+	frames := []obs.SiteFrame{{Func: "app.leaker", File: "app.go", Line: 7}}
+	p.AdoptRecovered([]obs.SiteStat{{
+		Hash: obs.FrameHash(frames), Frames: frames,
+		LiveObjects: 4, LiveBytes: 4096, AllocObjects: 4, AllocBytes: 4096,
+		FirstEpoch: 1, Recovered: true,
+	}})
+
+	prof, err := obs.ParsePprof(p.WritePprof())
+	if err != nil {
+		t.Fatalf("ParsePprof: %v", err)
+	}
+	s := pprofSampleFor(t, prof, "app.leaker")
+	if want := []int64{4, 4096, 4, 4096}; !reflect.DeepEqual(s.Values, want) {
+		t.Fatalf("values = %v, want unscaled %v", s.Values, want)
+	}
+	if s.Labels["recovered"] != "true" || s.NumLabels["first_epoch"] != 1 {
+		t.Fatalf("labels = %v / %v", s.Labels, s.NumLabels)
+	}
+	if s.Frames[0] != (obs.SiteFrame{Func: "app.leaker", File: "app.go", Line: 7}) {
+		t.Fatalf("frame = %+v", s.Frames[0])
+	}
+}
+
+func TestPprofGzipFraming(t *testing.T) {
+	p := obs.NewProfiler(1)
+	sampleSiteA(p, 1, 64)
+	gz, err := p.WritePprofGzip()
+	if err != nil {
+		t.Fatalf("WritePprofGzip: %v", err)
+	}
+	if len(gz) < 2 || gz[0] != 0x1f || gz[1] != 0x8b {
+		t.Fatal("not gzip-framed")
+	}
+	// ParsePprof transparently decompresses.
+	prof, err := obs.ParsePprof(gz)
+	if err != nil {
+		t.Fatalf("ParsePprof(gzip): %v", err)
+	}
+	if len(prof.Samples) != 1 {
+		t.Fatalf("samples = %d, want 1", len(prof.Samples))
+	}
+}

@@ -1,0 +1,211 @@
+// External-package profiler tests: the profiler trims the allocator's own
+// frames from symbolized stacks, so call sites must live OUTSIDE
+// poseidon/internal/obs for their frames to appear in profiles — exactly
+// like real application call sites.
+package obs_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"poseidon/internal/obs"
+)
+
+// sampleSiteA and sampleSiteB are two distinct allocation sites. noinline
+// keeps each an honest stack frame of its own.
+//
+//go:noinline
+func sampleSiteA(p *obs.Profiler, loc, size uint64) { p.SampleAlloc(loc, size, 0) }
+
+//go:noinline
+func sampleSiteB(p *obs.Profiler, loc, size uint64) { p.SampleAlloc(loc, size, 0) }
+
+// findSite returns the site whose frames mention fn.
+func findSite(t *testing.T, sites []obs.SiteStat, fn string) obs.SiteStat {
+	t.Helper()
+	for _, s := range sites {
+		for _, f := range s.Frames {
+			if strings.Contains(f.Func, fn) {
+				return s
+			}
+		}
+	}
+	t.Fatalf("no site with frame %q among %d sites", fn, len(sites))
+	return obs.SiteStat{}
+}
+
+func TestProfilerAggregatesBySite(t *testing.T) {
+	p := obs.NewProfiler(4)
+	p.SetEpoch(1)
+	// A site is a full symbolized stack (frames + lines), so each site's
+	// samples must come from a single call line.
+	for i := 0; i < 3; i++ {
+		sampleSiteA(p, uint64(1+i), 128)
+	}
+	for i := 0; i < 2; i++ {
+		sampleSiteB(p, uint64(10+i), 256)
+	}
+
+	a := findSite(t, p.Sites(), "sampleSiteA")
+	if a.LiveObjects != 3 || a.LiveBytes != 384 || a.AllocObjects != 3 || a.AllocBytes != 384 {
+		t.Fatalf("site A = %+v", a)
+	}
+	if !strings.Contains(a.Frames[0].Func, "sampleSiteA") {
+		t.Fatalf("leading frame = %q, want the call site itself", a.Frames[0].Func)
+	}
+	if a.FirstEpoch != 1 || a.Recovered {
+		t.Fatalf("site A epoch/recovered = %d/%v", a.FirstEpoch, a.Recovered)
+	}
+	b := findSite(t, p.Sites(), "sampleSiteB")
+	if b.LiveObjects != 2 || b.LiveBytes != 512 {
+		t.Fatalf("site B = %+v", b)
+	}
+
+	// A free of a sampled pointer decrements its site; unknown pointers
+	// are no-ops.
+	p.SampleFree(2)
+	p.SampleFree(9999)
+	a = findSite(t, p.Sites(), "sampleSiteA")
+	if a.LiveObjects != 2 || a.LiveBytes != 256 || a.FreeObjects != 1 || a.FreeBytes != 128 {
+		t.Fatalf("site A after free = %+v", a)
+	}
+
+	st := p.Stats()
+	if !st.Enabled || st.Rate != 4 || st.SampledAllocs != 5 || st.SampledFrees != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.DroppedSites != 0 || st.Sites < 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLeakSitesByEpoch(t *testing.T) {
+	p := obs.NewProfiler(1)
+	p.SetEpoch(1)
+	sampleSiteA(p, 1, 64) // first seen in epoch 1
+	p.SetEpoch(3)
+	sampleSiteB(p, 2, 64) // first seen in epoch 3
+
+	leaks := p.LeakSites(3)
+	if len(leaks) != 1 || !strings.Contains(leaks[0].Frames[0].Func, "sampleSiteA") {
+		t.Fatalf("leaks before epoch 3 = %+v", leaks)
+	}
+	// Freeing the old block clears the leak report.
+	p.SampleFree(1)
+	if leaks := p.LeakSites(3); len(leaks) != 0 {
+		t.Fatalf("leaks after free = %+v", leaks)
+	}
+}
+
+func TestAdoptRecoveredMergesWithLiveSite(t *testing.T) {
+	// Round 0 samples a site; round 1 adopts that snapshot into a fresh
+	// profiler (simulating a restart) and samples the SAME call-site line
+	// again. The two observations must collapse into one row spanning both
+	// lives of the process.
+	p := obs.NewProfiler(1)
+	p.SetEpoch(1)
+	for i := 0; i < 2; i++ {
+		if i == 1 {
+			old := findSite(t, p.Sites(), "sampleSiteA")
+			old.Recovered = true
+			p = obs.NewProfiler(1)
+			p.SetEpoch(2)
+			p.AdoptRecovered([]obs.SiteStat{old})
+		}
+		sampleSiteA(p, uint64(100+i), 64)
+	}
+	sites := p.Sites()
+	if len(sites) != 1 {
+		t.Fatalf("got %d sites, want the recovered and live views merged into 1", len(sites))
+	}
+	s := sites[0]
+	if s.LiveObjects != 2 || s.LiveBytes != 128 || s.AllocObjects != 2 {
+		t.Fatalf("merged site = %+v", s)
+	}
+	if !s.Recovered || s.FirstEpoch != 1 {
+		t.Fatalf("merged site recovered=%v firstEpoch=%d, want true/1", s.Recovered, s.FirstEpoch)
+	}
+}
+
+func TestProfilerReset(t *testing.T) {
+	p := obs.NewProfiler(1)
+	sampleSiteA(p, 1, 64)
+	p.Reset()
+	if sites := p.Sites(); len(sites) != 0 {
+		t.Fatalf("sites after reset = %+v", sites)
+	}
+	frees := p.Stats().SampledFrees
+	p.SampleFree(1) // live map was cleared: must be a no-op
+	if p.Stats().SampledFrees != frees {
+		t.Fatal("free of a reset pointer was counted")
+	}
+}
+
+func TestProfilerNilSafe(t *testing.T) {
+	var p *obs.Profiler
+	p.SampleAlloc(1, 64, 0)
+	p.SampleFree(1)
+	p.AdoptRecovered([]obs.SiteStat{{Hash: 1}})
+	p.Reset()
+	p.SetEpoch(5)
+	if p.Sites() != nil || p.LeakSites(1) != nil || p.Rate() != 0 || p.Epoch() != 0 {
+		t.Fatal("nil profiler leaked state")
+	}
+	if st := p.Stats(); st != (obs.ProfileStats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+}
+
+// TestConcurrentSampleVsSnapshot runs sampled allocs/frees against
+// concurrent snapshots and renders; meaningful under -race, and the final
+// live count must balance.
+func TestConcurrentSampleVsSnapshot(t *testing.T) {
+	p := obs.NewProfiler(2)
+	p.SetEpoch(1)
+	var wg sync.WaitGroup
+	const workers, iters = 4, 200
+	freed := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				loc := uint64(w*100000 + i)
+				sampleSiteA(p, loc, 64)
+				if i%3 == 0 {
+					p.SampleFree(loc)
+					freed[w]++
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = p.Sites()
+			_ = p.WritePprof()
+			_ = p.Stats()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	st := p.Stats()
+	if st.SampledAllocs != workers*iters {
+		t.Fatalf("sampled allocs = %d, want %d", st.SampledAllocs, workers*iters)
+	}
+	var live int64
+	for _, s := range p.Sites() {
+		live += s.LiveObjects
+	}
+	var wantFrees uint64
+	for _, n := range freed {
+		wantFrees += uint64(n)
+	}
+	if st.SampledFrees != wantFrees || live != int64(st.SampledAllocs-wantFrees) {
+		t.Fatalf("live=%d frees=%d, want live=allocs-frees=%d",
+			live, st.SampledFrees, int64(st.SampledAllocs-wantFrees))
+	}
+}

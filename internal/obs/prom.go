@@ -161,6 +161,47 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 	b.header("poseidon_events_overwritten_total", "counter",
 		"Journal events displaced from the ring before being read.")
 	b.line(`poseidon_events_overwritten_total %d`, s.Events.Overwritten)
+	b.header("poseidon_journal_dropped_total", "counter",
+		"Journal events dropped (overwritten unread) by the fixed ring; nonzero means the journal is saturated.")
+	b.line(`poseidon_journal_dropped_total %d`, s.Events.Dropped)
+
+	if s.Profile != nil {
+		b.header("poseidon_profile_enabled", "gauge",
+			"1 when allocation-site sampling is active (Options.Profile.Rate > 0).")
+		b.line(`poseidon_profile_enabled %d`, boolInt(s.Profile.Enabled))
+		b.header("poseidon_profile_sample_rate", "gauge",
+			"Allocation sampling rate (1-in-N; 0 = disabled).")
+		b.line(`poseidon_profile_sample_rate %d`, s.Profile.Rate)
+		b.header("poseidon_profile_epoch", "gauge",
+			"Current boot epoch stamped on newly observed allocation sites.")
+		b.line(`poseidon_profile_epoch %d`, s.Profile.Epoch)
+		b.header("poseidon_profile_sites", "gauge",
+			"Distinct allocation sites currently tracked (live + recovered).")
+		b.line(`poseidon_profile_sites %d`, s.Profile.Sites)
+		b.header("poseidon_profile_sampled_allocs_total", "counter",
+			"Allocations sampled into the site table.")
+		b.line(`poseidon_profile_sampled_allocs_total %d`, s.Profile.SampledAllocs)
+		b.header("poseidon_profile_sampled_frees_total", "counter",
+			"Frees attributed back to a sampled allocation site.")
+		b.line(`poseidon_profile_sampled_frees_total %d`, s.Profile.SampledFrees)
+		b.header("poseidon_profile_dropped_sites_total", "counter",
+			"Samples lost to a full site table.")
+		b.line(`poseidon_profile_dropped_sites_total %d`, s.Profile.DroppedSites)
+		b.header("poseidon_profile_persisted_generations_total", "counter",
+			"Successful persistent side-table snapshot writes.")
+		b.line(`poseidon_profile_persisted_generations_total %d`, s.Profile.PersistedGens)
+	}
+
+	if s.Trace != nil {
+		b.header("poseidon_trace_sample_rate", "gauge",
+			"Op-span sampling rate (1-in-N operations).")
+		b.line(`poseidon_trace_sample_rate %d`, s.Trace.Rate)
+		b.header("poseidon_trace_spans_total", "counter", "Op spans recorded.")
+		b.line(`poseidon_trace_spans_total %d`, s.Trace.Sampled)
+		b.header("poseidon_trace_spans_dropped_total", "counter",
+			"Op spans overwritten in the fixed ring before export.")
+		b.line(`poseidon_trace_spans_dropped_total %d`, s.Trace.Dropped)
+	}
 
 	return b.err
 }

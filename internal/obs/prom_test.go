@@ -26,8 +26,11 @@ func goldenSnapshot() *Snapshot {
 		},
 		Device: DeviceStats{StatsEnabled: true, Writes: 45, BytesWritten: 1124,
 			Flushes: 12, Fences: 9, CapacityBytes: 1 << 20, ResidentBytes: 4096},
-		Events: EventsSnapshot{Emitted: 3, Overwritten: 1,
+		Events: EventsSnapshot{Emitted: 3, Overwritten: 1, Dropped: 1,
 			ByKind: map[string]uint64{"crash": 2, "recovery": 1}},
+		Profile: &ProfileStats{Enabled: true, Rate: 64, Epoch: 2, Sites: 2,
+			SampledAllocs: 10, SampledFrees: 4, DroppedSites: 0, PersistedGens: 3},
+		Trace: &TracerStats{Enabled: true, Rate: 128, Sampled: 7, Dropped: 1},
 	}
 }
 
@@ -121,6 +124,42 @@ poseidon_events_emitted_total 3
 # HELP poseidon_events_overwritten_total Journal events displaced from the ring before being read.
 # TYPE poseidon_events_overwritten_total counter
 poseidon_events_overwritten_total 1
+# HELP poseidon_journal_dropped_total Journal events dropped (overwritten unread) by the fixed ring; nonzero means the journal is saturated.
+# TYPE poseidon_journal_dropped_total counter
+poseidon_journal_dropped_total 1
+# HELP poseidon_profile_enabled 1 when allocation-site sampling is active (Options.Profile.Rate > 0).
+# TYPE poseidon_profile_enabled gauge
+poseidon_profile_enabled 1
+# HELP poseidon_profile_sample_rate Allocation sampling rate (1-in-N; 0 = disabled).
+# TYPE poseidon_profile_sample_rate gauge
+poseidon_profile_sample_rate 64
+# HELP poseidon_profile_epoch Current boot epoch stamped on newly observed allocation sites.
+# TYPE poseidon_profile_epoch gauge
+poseidon_profile_epoch 2
+# HELP poseidon_profile_sites Distinct allocation sites currently tracked (live + recovered).
+# TYPE poseidon_profile_sites gauge
+poseidon_profile_sites 2
+# HELP poseidon_profile_sampled_allocs_total Allocations sampled into the site table.
+# TYPE poseidon_profile_sampled_allocs_total counter
+poseidon_profile_sampled_allocs_total 10
+# HELP poseidon_profile_sampled_frees_total Frees attributed back to a sampled allocation site.
+# TYPE poseidon_profile_sampled_frees_total counter
+poseidon_profile_sampled_frees_total 4
+# HELP poseidon_profile_dropped_sites_total Samples lost to a full site table.
+# TYPE poseidon_profile_dropped_sites_total counter
+poseidon_profile_dropped_sites_total 0
+# HELP poseidon_profile_persisted_generations_total Successful persistent side-table snapshot writes.
+# TYPE poseidon_profile_persisted_generations_total counter
+poseidon_profile_persisted_generations_total 3
+# HELP poseidon_trace_sample_rate Op-span sampling rate (1-in-N operations).
+# TYPE poseidon_trace_sample_rate gauge
+poseidon_trace_sample_rate 128
+# HELP poseidon_trace_spans_total Op spans recorded.
+# TYPE poseidon_trace_spans_total counter
+poseidon_trace_spans_total 7
+# HELP poseidon_trace_spans_dropped_total Op spans overwritten in the fixed ring before export.
+# TYPE poseidon_trace_spans_dropped_total counter
+poseidon_trace_spans_dropped_total 1
 `
 
 func TestWritePrometheusGolden(t *testing.T) {

@@ -75,10 +75,13 @@ type HealthStatus struct {
 	Detail string `json:",omitempty"`
 }
 
-// EventsSnapshot summarises the journal.
+// EventsSnapshot summarises the journal. Dropped == Overwritten: events the
+// fixed ring displaced before anyone read them (the journal-saturation
+// signal; a quiet heap has 0, a saturated one climbs).
 type EventsSnapshot struct {
 	Emitted     uint64
 	Overwritten uint64
+	Dropped     uint64
 	ByKind      map[string]uint64
 	Recent      []Event
 }
@@ -96,6 +99,8 @@ type Snapshot struct {
 	Health   *HealthStatus     `json:",omitempty"`
 	Device   DeviceStats
 	Events   EventsSnapshot
+	Profile  *ProfileStats `json:",omitempty"`
+	Trace    *TracerStats  `json:",omitempty"`
 }
 
 // Snapshot merges every histogram shard, the attribution table and the
@@ -153,10 +158,19 @@ func (t *Telemetry) Snapshot() *Snapshot {
 		ByKind:      map[string]uint64{},
 		Recent:      t.journal.Events(),
 	}
+	snap.Events.Dropped = snap.Events.Overwritten
 	for k := EventKind(0); k < NumEventKinds; k++ {
 		if n := t.journal.KindCount(k); n > 0 {
 			snap.Events.ByKind[k.String()] = n
 		}
+	}
+	if t.prof != nil {
+		ps := t.prof.Stats()
+		snap.Profile = &ps
+	}
+	if t.tracer != nil {
+		ts := t.tracer.Stats()
+		snap.Trace = &ts
 	}
 	return snap
 }

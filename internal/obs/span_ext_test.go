@@ -1,0 +1,131 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"poseidon/internal/obs"
+)
+
+// chromeTrace mirrors the Chrome trace-event JSON file format ({"traceEvents":
+// [...]}) closely enough to validate the exported schema.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestTracerDisabledIsNil(t *testing.T) {
+	if tr := obs.NewTracer(0, 16); tr != nil {
+		t.Fatal("rate 0 should disable the tracer entirely")
+	}
+	var tr *obs.Tracer
+	if tr.Sampled() {
+		t.Fatal("nil tracer sampled")
+	}
+	tr.Record(obs.Span{Op: obs.OpAlloc})
+	if tr.Spans() != nil || tr.Rate() != 0 {
+		t.Fatal("nil tracer holds spans")
+	}
+	if st := tr.Stats(); st != (obs.TracerStats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+	// An empty trace is still a valid trace file.
+	var ct chromeTrace
+	if err := json.Unmarshal(tr.WriteChromeTrace(), &ct); err != nil {
+		t.Fatalf("empty trace unparseable: %v", err)
+	}
+	if len(ct.TraceEvents) != 0 {
+		t.Fatalf("empty trace has %d events", len(ct.TraceEvents))
+	}
+}
+
+func TestTracerSamplesOneInN(t *testing.T) {
+	tr := obs.NewTracer(4, 16)
+	hits := 0
+	for i := 0; i < 40; i++ {
+		if tr.Sampled() {
+			hits++
+		}
+	}
+	if hits != 10 {
+		t.Fatalf("sampled %d of 40 at rate 4, want 10", hits)
+	}
+}
+
+func TestTracerRingOverwriteAccounting(t *testing.T) {
+	tr := obs.NewTracer(1, 4)
+	for i := 0; i < 7; i++ {
+		tr.Record(obs.Span{Op: obs.OpAlloc, StartNS: int64(i)})
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	if spans[0].Seq != 3 || spans[3].Seq != 6 {
+		t.Fatalf("span seqs = %d..%d, want 3..6 (oldest first)", spans[0].Seq, spans[3].Seq)
+	}
+	st := tr.Stats()
+	if !st.Enabled || st.Rate != 1 || st.Sampled != 7 || st.Dropped != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestChromeTraceSchema(t *testing.T) {
+	tr := obs.NewTracer(1, 16)
+	tr.Record(obs.Span{
+		Op: obs.OpAlloc, Subheap: 2, Lane: 3,
+		StartNS: 1000, DurNS: 2500,
+		Writes: 4, Flushes: 2, Fences: 1, Bytes: 128,
+	})
+	tr.Record(obs.Span{
+		Op: obs.OpRecovery, Subheap: -1, Lane: -1,
+		StartNS: 500, DurNS: 9000, Retries: 2, Err: "boom",
+	})
+
+	var ct chromeTrace
+	raw := tr.WriteChromeTrace()
+	if err := json.Unmarshal(raw, &ct); err != nil {
+		t.Fatalf("trace JSON unparseable: %v\n%s", err, raw)
+	}
+	if ct.DisplayTimeUnit != "ns" || len(ct.TraceEvents) != 2 {
+		t.Fatalf("trace = unit %q, %d events", ct.DisplayTimeUnit, len(ct.TraceEvents))
+	}
+	alloc := ct.TraceEvents[0]
+	if alloc.Name != obs.OpAlloc.String() || alloc.Cat != "poseidon" || alloc.Ph != "X" {
+		t.Fatalf("alloc event = %+v", alloc)
+	}
+	// Timestamps are microseconds relative to the earliest span (500 ns).
+	if alloc.Ts != 0.5 || alloc.Dur != 2.5 {
+		t.Fatalf("alloc ts/dur = %v/%v µs, want 0.5/2.5", alloc.Ts, alloc.Dur)
+	}
+	if alloc.Pid != 2 || alloc.Tid != 3 {
+		t.Fatalf("alloc pid/tid = %d/%d", alloc.Pid, alloc.Tid)
+	}
+	for k, want := range map[string]float64{"writes": 4, "flushes": 2, "fences": 1, "bytes": 128, "subheap": 2} {
+		if got, _ := alloc.Args[k].(float64); got != want {
+			t.Fatalf("alloc args[%s] = %v, want %v", k, alloc.Args[k], want)
+		}
+	}
+	rec := ct.TraceEvents[1]
+	if rec.Name != obs.OpRecovery.String() || rec.Ts != 0 || rec.Pid != 0 || rec.Tid != 0 {
+		t.Fatalf("recovery event = %+v", rec)
+	}
+	if rec.Args["err"] != "boom" {
+		t.Fatalf("recovery args = %v", rec.Args)
+	}
+	if _, ok := rec.Args["subheap"]; ok {
+		t.Fatal("subheap arg emitted for a non-sub-heap span")
+	}
+	if got, _ := rec.Args["retries"].(float64); got != 2 {
+		t.Fatalf("retries arg = %v", rec.Args["retries"])
+	}
+}

@@ -11,6 +11,14 @@ import (
 func WriteText(w io.Writer, s *Snapshot) error {
 	b := &promBuf{w: w}
 
+	if s.Health != nil {
+		if s.Health.Detail != "" {
+			b.line("health: %s (%s)", s.Health.State, s.Health.Detail)
+		} else {
+			b.line("health: %s", s.Health.State)
+		}
+	}
+
 	hasOps := false
 	for _, op := range s.Ops {
 		if op.Count > 0 {
@@ -85,6 +93,16 @@ func WriteText(w io.Writer, s *Snapshot) error {
 	}
 	if s.Device.CapacityBytes > 0 {
 		b.line("device: capacity %d B, resident %d B", s.Device.CapacityBytes, s.Device.ResidentBytes)
+	}
+
+	if s.Profile != nil && (s.Profile.Enabled || s.Profile.Sites > 0) {
+		b.line("profile: %d sites, epoch %d, rate 1/%d, %d sampled allocs, %d persisted generations",
+			s.Profile.Sites, s.Profile.Epoch, s.Profile.Rate,
+			s.Profile.SampledAllocs, s.Profile.PersistedGens)
+	}
+	if s.Trace != nil && s.Trace.Enabled {
+		b.line("trace: %d spans recorded (rate 1/%d, %d dropped)",
+			s.Trace.Sampled, s.Trace.Rate, s.Trace.Dropped)
 	}
 
 	if s.Events.Emitted > 0 {

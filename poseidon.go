@@ -61,6 +61,15 @@ type (
 	// small objects with crash-reclaimable refill batches. See
 	// Thread.SyncMagazines for the durability contract.
 	MagazineOptions = core.MagazineOptions
+	// ProfileOptions configures the sampled allocation-site heap profiler
+	// (Options.Profile): 1-in-Rate allocations capture their caller stack,
+	// aggregated per site and checkpointed into the heap image so leak
+	// attribution survives crashes. See Heap.ProfilePprof.
+	ProfileOptions = core.ProfileOptions
+	// TraceOptions configures the sampled op-span tracer (Options.Trace):
+	// 1-in-Rate operations record spans with their flush/fence/retry
+	// sub-events, rendered as Chrome trace-event JSON by Heap.TraceJSON.
+	TraceOptions = core.TraceOptions
 	// Telemetry is the observability registry: pass one in
 	// Options.Telemetry to get latency histograms, per-class device-traffic
 	// attribution, per-sub-heap gauges and the event journal. See
