@@ -57,6 +57,11 @@ func (h *Heap) Health() HealthState { return HealthState(h.health.Load()) }
 // Called after every quarantine, repair and notable retry burst; cheap
 // enough (one pass over the sub-heap flags) that callers need not debounce.
 func (h *Heap) recomputeHealth() {
+	// Serialized: a worker that read the quarantine set before a peer's
+	// quarantine landed must not publish its (now stale) state after the
+	// peer published the correct one.
+	h.healthMu.Lock()
+	defer h.healthMu.Unlock()
 	n := len(h.subheaps)
 	q := 0
 	for _, s := range h.subheaps {

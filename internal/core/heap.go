@@ -64,8 +64,12 @@ type Heap struct {
 	transientRetries atomic.Uint64 // I/O retries that survived ErrTransient
 
 	// health is the current HealthState; recomputed from the quarantine set
-	// and retry pressure after every transition-relevant event.
-	health atomic.Int32
+	// and retry pressure after every transition-relevant event. healthMu
+	// serializes recomputations: compute-then-store is not atomic, and two
+	// concurrent recovery workers quarantining at once must not let a stale
+	// computation overwrite a more-degraded state.
+	health   atomic.Int32
+	healthMu sync.Mutex
 
 	// Self-healing counters (surfaced via Stats and the metrics endpoint).
 	repairedSubheaps atomic.Uint64
@@ -466,6 +470,11 @@ func readLayout(dev *nvm.Device) (layout, error) {
 // recovery fails, or (with ScrubOnLoad) the audit finds problems — is
 // quarantined, leaving the rest of the heap fully usable. Only superblock
 // corruption or device-level failure aborts the load.
+//
+// Everything after the superblock replay is per-sub-heap independent, so
+// with Options.RecoveryParallelism > 1 it fans out over a bounded worker
+// pool (recovery.go) instead of running the serial loops below; the two
+// paths produce byte-identical images.
 func (h *Heap) recover() error {
 	var phaseStart time.Time
 	if h.tel != nil {
@@ -506,6 +515,46 @@ func (h *Heap) recover() error {
 	}
 	h.sbBatch = txn.NewBatch(h.sbWin, h.sbUndo)
 
+	par := h.recoveryParallelism()
+	if par > 1 {
+		if err := h.recoverFanout(par); err != nil {
+			return err
+		}
+	} else if err := h.recoverSerial(); err != nil {
+		return err
+	}
+	if h.tel != nil {
+		h.tel.Record(obs.OpRecovery, time.Since(phaseStart))
+	}
+
+	if h.opts.ScrubOnLoad {
+		var scrubStart time.Time
+		if h.tel != nil {
+			scrubStart = time.Now()
+		}
+		if err := h.scrub(par); err != nil {
+			return err
+		}
+		if h.tel != nil {
+			h.tel.Record(obs.OpScrub, time.Since(scrubStart))
+		}
+		// Every in-service sub-heap just passed a full audit — the one
+		// moment a load is entitled to refresh the metadata mirrors.
+		// Without ScrubOnLoad the mirrors stay stale-but-trustworthy until
+		// the mutation-paced refresh catches up: a stale mirror only costs
+		// repair its cheap path, a corrupt one would poison it. The mirror
+		// refresh itself stays serial in every mode: it runs after the full
+		// fan-out has joined, so ordering (superblock, then replay, then
+		// audit, then mirrors) is identical for all parallelism levels.
+		h.syncMirrors()
+	}
+	return nil
+}
+
+// recoverSerial is the legacy single-threaded load tail (RecoveryParallelism
+// <= 1): sub-heap log recovery, micro-lane rollback and cache-manifest
+// replay, strictly in order, stopping at the first fatal error.
+func (h *Heap) recoverSerial() error {
 	for _, s := range h.subheaps {
 		err := h.retry(s.recoverLogs)
 		if err == nil {
@@ -543,57 +592,45 @@ func (h *Heap) recover() error {
 			}
 		}
 	}
-	if h.tel != nil {
-		h.tel.Record(obs.OpRecovery, time.Since(phaseStart))
-	}
-
-	if h.opts.ScrubOnLoad {
-		var scrubStart time.Time
-		if h.tel != nil {
-			scrubStart = time.Now()
-		}
-		if err := h.scrub(); err != nil {
-			return err
-		}
-		if h.tel != nil {
-			h.tel.Record(obs.OpScrub, time.Since(scrubStart))
-		}
-		// Every in-service sub-heap just passed a full audit — the one
-		// moment a load is entitled to refresh the metadata mirrors.
-		// Without ScrubOnLoad the mirrors stay stale-but-trustworthy until
-		// the mutation-paced refresh catches up: a stale mirror only costs
-		// repair its cheap path, a corrupt one would poison it.
-		h.syncMirrors()
-	}
 	return nil
 }
 
 // scrub audits every in-service sub-heap with the fsck engine and
 // quarantines those whose metadata fails — the load-time detector for
 // corruption that log replay cannot see (media bit flips, stray writes).
-func (h *Heap) scrub() error {
-	for _, s := range h.subheaps {
-		if s.isQuarantined() {
-			continue
-		}
-		var sub SubheapReport
-		err := h.retry(func() error {
-			var e error
-			sub, e = s.check()
-			return e
-		})
-		switch {
-		case err == nil && len(sub.Problems) == 0:
-		case err == nil:
-			h.tel.Emit(obs.EventScrubFinding, s.id, fmt.Sprintf(
-				"%d problems, first: %s", len(sub.Problems), sub.Problems[0]))
-			s.quarantine(fmt.Sprintf("audit failed: %s (%d problems)",
-				sub.Problems[0], len(sub.Problems)))
-		case quarantinable(err):
-			s.quarantine(fmt.Sprintf("audit aborted: %v", err))
-		default:
-			return fmt.Errorf("sub-heap %d scrub: %w", s.id, err)
-		}
+// With par > 1 the audits run concurrently; each sub-heap's check is
+// self-contained under its own lock, and quarantine/health transitions are
+// serialized (qmu, healthMu), so concurrent findings bench their sub-heaps
+// independently.
+func (h *Heap) scrub(par int) error {
+	return h.forEachRecovery(len(h.subheaps), par, func(_, i int) error {
+		return h.scrubOne(h.subheaps[i])
+	})
+}
+
+// scrubOne audits a single sub-heap and quarantines it on failure; only
+// device-level errors are returned (and abort the load).
+func (h *Heap) scrubOne(s *subheap) error {
+	if s.isQuarantined() {
+		return nil
+	}
+	var sub SubheapReport
+	err := h.retry(func() error {
+		var e error
+		sub, e = s.check()
+		return e
+	})
+	switch {
+	case err == nil && len(sub.Problems) == 0:
+	case err == nil:
+		h.tel.Emit(obs.EventScrubFinding, s.id, fmt.Sprintf(
+			"%d problems, first: %s", len(sub.Problems), sub.Problems[0]))
+		s.quarantine(fmt.Sprintf("audit failed: %s (%d problems)",
+			sub.Problems[0], len(sub.Problems)))
+	case quarantinable(err):
+		s.quarantine(fmt.Sprintf("audit aborted: %v", err))
+	default:
+		return fmt.Errorf("sub-heap %d scrub: %w", s.id, err)
 	}
 	return nil
 }
@@ -622,36 +659,48 @@ func (h *Heap) recoverLane(i int) error {
 		if err != nil {
 			continue // stale entry pointing nowhere valid; skip
 		}
-		s := h.subheaps[sub]
-		if s.isQuarantined() {
-			// The block lives in a region already out of service; rolling
-			// it back would touch metadata we no longer trust.
-			s.stats.recoveredNoops.Add(1)
-			continue
-		}
-		var start time.Time
-		if h.tel != nil {
-			start = time.Now()
-		}
-		err = s.freeAs(dev, nvm.ClassTxFree)
-		if h.tel != nil {
-			h.tel.RecordOn(i, obs.OpTxFree, time.Since(start))
-		}
-		if err != nil {
-			// Invalid/double frees here mean the undo log already
-			// reverted this allocation; anything else is fatal.
-			if err == ErrInvalidFree || err == ErrDoubleFree {
-				s.stats.recoveredNoops.Add(1)
-				continue
-			}
+		if err := h.replayTxEntry(h.subheaps[sub], i, dev); err != nil {
 			return err
 		}
-		s.stats.recoveredBlocks.Add(1)
 	}
 	h.grant(h.sbThread)
 	err = lane.Truncate()
 	h.revoke(h.sbThread)
 	return err
+}
+
+// replayTxEntry rolls back one micro-log allocation against its sub-heap —
+// the per-entry body shared by the serial lane walk (recoverLane) and the
+// parallel per-sub-heap replay (recovery.go). lane is the entry's micro
+// lane, used only for latency attribution. Returns only fatal errors;
+// no-op outcomes (quarantined target, already-reverted allocation) are
+// absorbed into the recovery counters.
+func (h *Heap) replayTxEntry(s *subheap, lane int, dev uint64) error {
+	if s.isQuarantined() {
+		// The block lives in a region already out of service; rolling
+		// it back would touch metadata we no longer trust.
+		s.stats.recoveredNoops.Add(1)
+		return nil
+	}
+	var start time.Time
+	if h.tel != nil {
+		start = time.Now()
+	}
+	err := s.freeAs(dev, nvm.ClassTxFree)
+	if h.tel != nil {
+		h.tel.RecordOn(lane, obs.OpTxFree, time.Since(start))
+	}
+	if err != nil {
+		// Invalid/double frees here mean the undo log already
+		// reverted this allocation; anything else is fatal.
+		if err == ErrInvalidFree || err == ErrDoubleFree {
+			s.stats.recoveredNoops.Add(1)
+			return nil
+		}
+		return err
+	}
+	s.stats.recoveredBlocks.Add(1)
+	return nil
 }
 
 // recoverManifest frees every block still recorded in lane i's cache
@@ -677,27 +726,12 @@ func (h *Heap) recoverManifest(i int) error {
 				"cache manifest %d slot %d: invalid entry %#x", i, k, word))
 			continue
 		}
-		s := h.subheaps[shard]
-		if s.isQuarantined() {
-			s.stats.recoveredNoops.Add(1)
-			continue
-		}
-		switch err := s.freeAs(h.lay.userBase(int(shard))+rel, nvm.ClassRecovery); {
-		case err == nil:
-			s.stats.recoveredCached.Add(1)
-		case errors.Is(err, ErrInvalidFree) || errors.Is(err, ErrDoubleFree):
-			// The block was never durably removed from its free list (or a
-			// later flush-back already returned it) — nothing leaked.
-			s.stats.recoveredNoops.Add(1)
-		case errors.Is(err, ErrSubheapQuarantined):
-			s.stats.recoveredNoops.Add(1)
-			continue
-		case quarantinable(err):
-			s.quarantine(fmt.Sprintf("cache manifest replay failed: %v", err))
-			s.stats.recoveredNoops.Add(1)
-			continue
-		default:
+		clear, err := h.replayManifestEntry(h.subheaps[shard], rel)
+		if err != nil {
 			return err
+		}
+		if !clear {
+			continue
 		}
 		h.grant(h.sbThread)
 		werr := h.sbWin.WriteU64(off, 0)
@@ -718,6 +752,40 @@ func (h *Heap) recoverManifest(i int) error {
 		h.sbWin.Fence()
 	}
 	return nil
+}
+
+// replayManifestEntry returns one cached block to its sub-heap's free list
+// — the per-entry body shared by the serial manifest walk (recoverManifest)
+// and the parallel per-sub-heap replay (recovery.go). It reports whether
+// the manifest word may be cleared: processed entries (freed, or no-op
+// because the cache push never became durable) clear; entries naming a
+// quarantined sub-heap stay in place — that capacity is out of service
+// anyway, and the surviving word keeps replay idempotent if the sub-heap
+// is later repaired. Returns only fatal errors.
+func (h *Heap) replayManifestEntry(s *subheap, rel uint64) (clear bool, _ error) {
+	if s.isQuarantined() {
+		s.stats.recoveredNoops.Add(1)
+		return false, nil
+	}
+	switch err := s.freeAs(h.lay.userBase(s.id)+rel, nvm.ClassRecovery); {
+	case err == nil:
+		s.stats.recoveredCached.Add(1)
+		return true, nil
+	case errors.Is(err, ErrInvalidFree) || errors.Is(err, ErrDoubleFree):
+		// The block was never durably removed from its free list (or a
+		// later flush-back already returned it) — nothing leaked.
+		s.stats.recoveredNoops.Add(1)
+		return true, nil
+	case errors.Is(err, ErrSubheapQuarantined):
+		s.stats.recoveredNoops.Add(1)
+		return false, nil
+	case quarantinable(err):
+		s.quarantine(fmt.Sprintf("cache manifest replay failed: %v", err))
+		s.stats.recoveredNoops.Add(1)
+		return false, nil
+	default:
+		return false, err
+	}
 }
 
 // HeapID returns the heap's persistent identity.

@@ -71,6 +71,16 @@ type Options struct {
 	// writes that beat MPK). Costs a full metadata scan per sub-heap at
 	// load; default off.
 	ScrubOnLoad bool
+	// RecoveryParallelism bounds the worker pool Load fans recovery out
+	// over: per-sub-heap log replay, micro-lane rollback, cache-manifest
+	// replay, the ScrubOnLoad audit and RepairAll all split across this
+	// many workers once the superblock log has replayed serially. The
+	// fan-out is proven byte-identical to serial recovery (replay is
+	// grouped per sub-heap, preserving each sub-heap's projection of the
+	// serial replay order), so any value yields the same recovered image.
+	// 0 (the default) uses runtime.GOMAXPROCS(0); 1 forces the legacy
+	// single-threaded load path. Negative values are rejected.
+	RecoveryParallelism int
 	// RemoteFreeRings enables the persistent per-sub-heap remote-free
 	// ring (mimalloc-style message-passing frees): a thread freeing a
 	// block owned by another sub-heap CAS-reserves a ring slot, persists
@@ -281,6 +291,9 @@ func (o Options) validate() error {
 	if o.RemoteFreeRings && o.SubheapUserSize-1 > memblock.MaxRingRel {
 		return fmt.Errorf("poseidon: sub-heap user size %d exceeds the remote-free ring's %d-bit offset",
 			o.SubheapUserSize, 44)
+	}
+	if o.RecoveryParallelism < 0 {
+		return fmt.Errorf("poseidon: recovery parallelism %d must not be negative", o.RecoveryParallelism)
 	}
 	if o.OnlineScrub.Interval < 0 || o.OnlineScrub.Throttle < 0 {
 		return fmt.Errorf("poseidon: online scrub interval/throttle must not be negative")

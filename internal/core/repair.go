@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"poseidon/internal/memblock"
@@ -82,26 +83,36 @@ func (h *Heap) Repair(subheap int) error {
 }
 
 // RepairAll repairs every quarantined sub-heap, continuing past individual
-// failures. Returns how many were returned to service and the first error.
+// failures. Returns how many were returned to service and the first (by
+// sub-heap index) error. Each repair is self-contained under its sub-heap's
+// lock, so with Options.RecoveryParallelism > 1 the repairs run on the
+// recovery worker pool — the parallel walk poseidon-fsck -repair -j uses.
 func (h *Heap) RepairAll() (int, error) {
 	if h.isClosed() {
 		return 0, ErrClosed
 	}
-	repaired := 0
-	var first error
-	for _, s := range h.subheaps {
+	var repaired atomic.Int64
+	errs := make([]error, len(h.subheaps))
+	_ = h.forEachRecovery(len(h.subheaps), h.recoveryParallelism(), func(_, i int) error {
+		s := h.subheaps[i]
 		if !s.isQuarantined() {
-			continue
+			return nil
 		}
 		if err := h.Repair(s.id); err != nil {
-			if first == nil {
-				first = err
-			}
-			continue
+			errs[i] = err
+			return nil
 		}
-		repaired++
+		repaired.Add(1)
+		return nil
+	})
+	var first error
+	for _, err := range errs {
+		if err != nil {
+			first = err
+			break
+		}
 	}
-	return repaired, first
+	return int(repaired.Load()), first
 }
 
 // repairLocked is the repair body; the caller holds s.mu with the metadata

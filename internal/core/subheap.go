@@ -71,7 +71,11 @@ type subheap struct {
 	// reported as lost in Stats. qreason (a string) is stored before the
 	// flag is published; it is atomic because Repair can return the
 	// sub-heap to service and a later corruption re-quarantine it while
-	// concurrent error paths read the reason.
+	// concurrent error paths read the reason. qmu serializes the
+	// check-then-publish in quarantine so two recovery workers benching
+	// the same sub-heap simultaneously keep first-reason-wins semantics
+	// (and emit exactly one quarantine event).
+	qmu         sync.Mutex
 	quarantined atomic.Bool
 	qreason     atomic.Value
 
@@ -113,11 +117,14 @@ func (g *subheapGauges) reset() {
 // reason wins (until a Repair clears the flag — a re-quarantine then
 // records its own, fresh reason).
 func (s *subheap) quarantine(reason string) {
+	s.qmu.Lock()
 	if s.quarantined.Load() {
+		s.qmu.Unlock()
 		return
 	}
 	s.qreason.Store(reason)
 	s.quarantined.Store(true)
+	s.qmu.Unlock()
 	s.h.tel.Emit(obs.EventQuarantine, s.id, reason)
 	s.h.recomputeHealth()
 }
