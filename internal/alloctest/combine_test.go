@@ -1,0 +1,259 @@
+package alloctest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"poseidon/internal/core"
+)
+
+// combineDiffOptions builds the geometry the combined-commit differential
+// runs on: ONE sub-heap shared by four workers, so every operation contends
+// on the same lock and the combining array actually fills.
+func combineDiffOptions(combined bool) core.Options {
+	return core.Options{
+		Subheaps:        1,
+		SubheapUserSize: 1 << 20,
+		SubheapMetaSize: 512 << 10,
+		UndoLogSize:     64 << 10,
+		MaxThreads:      8,
+		HeapID:          0x5EA1,
+		CrashTracking:   true,
+		CombinedCommits: combined,
+	}
+}
+
+// combineEndState is the mode-independent fingerprint of a finished
+// schedule. Block addresses are deliberately absent: combining reorders
+// carves within a group, so addresses may differ while the logical heap
+// content must not.
+type combineEndState struct {
+	LiveSizes       []uint64 // sorted live block sizes (single sub-heap)
+	AllocatedBlocks uint64
+	Allocs          uint64
+	TxAllocs        uint64
+	Frees           uint64
+	DoubleFrees     uint64
+	InvalidFrees    uint64
+}
+
+const (
+	combineWorkers = 4
+	combineRounds  = 6
+	combineBatch   = 24
+)
+
+// combineSchedule runs the randomized multi-worker schedule on one heap and
+// returns its fingerprint. Each worker frees its OWN previous batch and
+// draws sizes from an rng seeded only by (round, worker), so the operation
+// multiset is independent of goroutine interleaving and of the mode under
+// test. Every third allocation is transactional (committed immediately),
+// exercising the micro-log hook inside the group commit window — the
+// leader appends through the publishing waiter's window, which is the
+// cross-thread traffic the race detector watches.
+func combineSchedule(t *testing.T, combined bool) combineEndState {
+	t.Helper()
+	h, err := core.Create(combineDiffOptions(combined))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	threads := make([]*core.Thread, combineWorkers)
+	for w := range threads {
+		th, err := h.ThreadOn(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		threads[w] = th
+	}
+
+	prev := make([][]core.NVMPtr, combineWorkers)
+	for round := 0; round < combineRounds; round++ {
+		next := make([][]core.NVMPtr, combineWorkers)
+		var wg sync.WaitGroup
+		errs := make([]error, combineWorkers)
+		for w := 0; w < combineWorkers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				th := threads[w]
+				for _, p := range prev[w] {
+					if err := th.Free(p); err != nil {
+						errs[w] = fmt.Errorf("round %d worker %d free: %w", round, w, err)
+						return
+					}
+				}
+				rng := rand.New(rand.NewSource(int64(round)<<8 | int64(w)))
+				batch := make([]core.NVMPtr, 0, combineBatch)
+				for i := 0; i < combineBatch; i++ {
+					size := 64 + uint64(rng.Intn(960))
+					var p core.NVMPtr
+					var err error
+					if i%3 == 0 {
+						p, err = th.TxAlloc(size, true)
+					} else {
+						p, err = th.Alloc(size)
+					}
+					if err != nil {
+						errs[w] = fmt.Errorf("round %d worker %d alloc %d: %w", round, w, i, err)
+						return
+					}
+					batch = append(batch, p)
+				}
+				next[w] = batch
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = next
+	}
+
+	// Deterministic error tail: three double frees and one interior-pointer
+	// free. The combined path rejects these at stage time against the chained
+	// batch view; the legacy path rejects them off the device record — the
+	// counters must agree regardless.
+	doomed := make([]core.NVMPtr, 3)
+	for i := range doomed {
+		if doomed[i], err = threads[0].Alloc(128); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim, err := threads[0].Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range doomed {
+		if err := threads[0].Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range doomed {
+		if err := threads[0].Free(p); !errors.Is(err, core.ErrDoubleFree) {
+			t.Fatalf("injected double free: %v", err)
+		}
+	}
+	interior := core.PtrFromLoc(h.HeapID(), victim.Loc()+64)
+	if err := threads[0].Free(interior); !errors.Is(err, core.ErrInvalidFree) {
+		t.Fatalf("injected invalid free: %v", err)
+	}
+
+	// Deterministic group tail: natural combining needs publishers to
+	// actually collide, which a single-core run may never produce (the
+	// uncontended fast path takes the legacy body). Drive one alloc group and
+	// one free group explicitly in combined mode, and the same operation
+	// multiset as plain calls in legacy mode — alloc-then-free of identical
+	// sizes, so the fingerprint (live set, counters) is mode-independent.
+	tailSizes := []uint64{64, 128, 256, 512}
+	if combined {
+		ptrs, perOp, err := h.CombineAllocBurst(0, tailSizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range perOp {
+			if e != nil {
+				t.Fatalf("tail burst alloc %d: %v", i, e)
+			}
+		}
+		perOp, err = h.CombineFreeBurst(ptrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range perOp {
+			if e != nil {
+				t.Fatalf("tail burst free %d: %v", i, e)
+			}
+		}
+	} else {
+		tail := make([]core.NVMPtr, len(tailSizes))
+		for i, sz := range tailSizes {
+			if tail[i], err = threads[0].Alloc(sz); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, p := range tail {
+			if err := threads[0].Free(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	state := combineEndState{}
+	record := func(p core.NVMPtr) {
+		size, err := threads[0].BlockSize(p)
+		if err != nil {
+			t.Fatalf("live block %v lost: %v", p, err)
+		}
+		if size < 64 || size&(size-1) != 0 {
+			t.Fatalf("live block %v has non-class size %d", p, size)
+		}
+		state.LiveSizes = append(state.LiveSizes, size)
+	}
+	for _, batch := range prev {
+		for _, p := range batch {
+			record(p)
+		}
+	}
+	record(victim)
+	sort.Slice(state.LiveSizes, func(i, j int) bool {
+		return state.LiveSizes[i] < state.LiveSizes[j]
+	})
+
+	report, err := h.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("audit (combined=%v): %v", combined, report.Problems)
+	}
+	st := h.Stats()
+	if combined && (st.CombinedCommits < 2 || st.CombinedOps < 2*uint64(len(tailSizes))) {
+		t.Fatalf("combined mode group activity too low: %d commits / %d ops",
+			st.CombinedCommits, st.CombinedOps)
+	}
+	if !combined && (st.CombinedCommits != 0 || st.CombinedOps != 0) {
+		t.Fatalf("legacy mode recorded combined activity: %d commits / %d ops",
+			st.CombinedCommits, st.CombinedOps)
+	}
+	state.AllocatedBlocks = report.AllocatedBlocks
+	state.Allocs = st.Allocs
+	state.TxAllocs = st.TxAllocs
+	state.Frees = st.Frees
+	state.DoubleFrees = st.DoubleFrees
+	state.InvalidFrees = st.InvalidFrees
+
+	for _, th := range threads {
+		th.Close()
+	}
+	return state
+}
+
+// TestCombineDifferential is the differential/property layer of the
+// flat-combining commit path: the same randomized multi-worker schedule
+// runs once with CombinedCommits and once on the legacy per-op path, and
+// the two heaps must agree on every observable that defines heap content —
+// live block size multiset, allocated-block count from the fsck-style
+// audit, and the accepted/rejected operation counters. Run it under -race:
+// the publish/claim protocol and the leader's micro-log appends through
+// waiters' windows are exactly the cross-thread traffic the detector
+// watches.
+func TestCombineDifferential(t *testing.T) {
+	legacy := combineSchedule(t, false)
+	combined := combineSchedule(t, true)
+
+	if legacy.DoubleFrees != 3 || legacy.InvalidFrees != 1 {
+		t.Fatalf("legacy injected-error counters: %+v", legacy)
+	}
+	if !reflect.DeepEqual(legacy, combined) {
+		t.Fatalf("end states diverge:\nlegacy:   %+v\ncombined: %+v", legacy, combined)
+	}
+}

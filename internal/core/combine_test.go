@@ -1,0 +1,311 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"poseidon/internal/nvm"
+)
+
+// combineOptions is the 1-sub-heap geometry the combined-commit tests run
+// on: a single lock so every operation contends on the same combining
+// array.
+func combineOptions() Options {
+	return Options{
+		Subheaps:        1,
+		SubheapUserSize: 512 << 10,
+		SubheapMetaSize: 256 << 10,
+		UndoLogSize:     64 << 10,
+		MaxThreads:      8,
+		HeapID:          0xC0B1,
+		CrashTracking:   true,
+		CombinedCommits: true,
+	}
+}
+
+// TestThreadRoutesAroundQuarantine pins the satellite fix for the raw
+// round-robin shard pick: Thread() used to assign `counter % subheaps`
+// blindly, so a new thread could be pinned to a quarantined sub-heap and
+// fail every allocation. It must route through healthyShard instead.
+func TestThreadRoutesAroundQuarantine(t *testing.T) {
+	opts := combineOptions()
+	opts.Subheaps = 2
+	opts.MaxThreads = 16
+	h, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	h.subheaps[0].quarantine("test: simulated media failure")
+
+	for i := 0; i < 8; i++ {
+		th, err := h.Thread()
+		if err != nil {
+			t.Fatalf("Thread %d: %v", i, err)
+		}
+		if th.shard == 0 {
+			t.Fatalf("Thread %d pinned to quarantined sub-heap 0", i)
+		}
+		if _, err := th.Alloc(64); err != nil {
+			t.Fatalf("Thread %d alloc on healthy shard: %v", i, err)
+		}
+		th.Close()
+	}
+
+	// With every sub-heap quarantined registration must still succeed (the
+	// thread is unusable for allocation, but Close/teardown paths need it).
+	h.subheaps[1].quarantine("test: simulated media failure")
+	th, err := h.Thread()
+	if err != nil {
+		t.Fatalf("Thread with all sub-heaps quarantined: %v", err)
+	}
+	if _, err := th.Alloc(64); !errors.Is(err, ErrSubheapQuarantined) {
+		t.Fatalf("alloc on fully quarantined heap = %v, want ErrSubheapQuarantined", err)
+	}
+	th.Close()
+}
+
+// TestCombinedGroupSingleSeal is the tentpole's unit-level contract: a
+// width-k group commit performs exactly ONE undo seal and ONE truncate
+// regardless of k, and the combine counters attribute every op to it.
+// In-group validation rejects (a double free staged against the group's own
+// chained state) must not break the group or cost extra seals.
+func TestCombinedGroupSingleSeal(t *testing.T) {
+	h, err := Create(combineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	th, err := h.ThreadOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Close()
+
+	// Warm up: one allocation formats the sub-heap and opens the undo log.
+	if _, err := th.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+	s := h.subheaps[0]
+
+	seals0, trunc0 := s.undo.Seals(), s.undo.Truncates()
+	st0 := h.Stats()
+
+	ptrs, errs, err := h.CombineAllocBurst(0, []uint64{64, 256, 1024, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("burst alloc %d: %v", i, e)
+		}
+		if ptrs[i].IsNull() {
+			t.Fatalf("burst alloc %d returned null pointer", i)
+		}
+	}
+	if got := s.undo.Seals() - seals0; got != 1 {
+		t.Fatalf("alloc group of 4 cost %d seals, want 1", got)
+	}
+	if got := s.undo.Truncates() - trunc0; got != 1 {
+		t.Fatalf("alloc group of 4 cost %d truncates, want 1", got)
+	}
+	st1 := h.Stats()
+	if got := st1.CombinedCommits - st0.CombinedCommits; got != 1 {
+		t.Fatalf("CombinedCommits delta = %d, want 1", got)
+	}
+	if got := st1.CombinedOps - st0.CombinedOps; got != 4 {
+		t.Fatalf("CombinedOps delta = %d, want 4", got)
+	}
+
+	// Free group with an in-group double free: ptrs[0] appears twice, so the
+	// second free must observe the first one's STAGED status write through
+	// the batch chain and reject with ErrDoubleFree — inside the same single
+	// seal, without aborting the group.
+	seals1, trunc1 := s.undo.Seals(), s.undo.Truncates()
+	ferrs, err := h.CombineFreeBurst([]NVMPtr{ptrs[0], ptrs[1], ptrs[0], ptrs[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if ferrs[i] != nil {
+			t.Fatalf("burst free %d: %v", i, ferrs[i])
+		}
+	}
+	if !errors.Is(ferrs[2], ErrDoubleFree) {
+		t.Fatalf("in-group double free = %v, want ErrDoubleFree", ferrs[2])
+	}
+	if got := s.undo.Seals() - seals1; got != 1 {
+		t.Fatalf("free group cost %d seals, want 1", got)
+	}
+	if got := s.undo.Truncates() - trunc1; got != 1 {
+		t.Fatalf("free group cost %d truncates, want 1", got)
+	}
+	st2 := h.Stats()
+	if got := st2.CombinedOps - st1.CombinedOps; got != 3 {
+		t.Fatalf("CombinedOps delta = %d, want 3 (double free rejected at stage)", got)
+	}
+	if st2.DoubleFrees-st1.DoubleFrees != 1 {
+		t.Fatalf("DoubleFrees delta = %d, want 1", st2.DoubleFrees-st1.DoubleFrees)
+	}
+	if st2.CombineFallbacks != st1.CombineFallbacks {
+		t.Fatalf("validation reject must not count as fallback (got +%d)",
+			st2.CombineFallbacks-st1.CombineFallbacks)
+	}
+
+	// The heap audit agrees with the combined bookkeeping.
+	report, err := h.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("audit after combined groups: %v", report.Problems)
+	}
+}
+
+// runCombinedGroupScript executes the fixed 4-op group (alloc, tx-alloc,
+// two frees) with a failpoint after `budget` stores, then crashes with the
+// given policy, recovers and audits. The frees target two setup blocks p1
+// and p2 whose post-recovery liveness must AGREE — the group is
+// all-or-nothing because no op reports success before the group's single
+// truncate.
+func runCombinedGroupScript(t *testing.T, budget int64, policy nvm.CrashPolicy) (survived bool) {
+	t.Helper()
+	opts := combineOptions()
+	h, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := h.ThreadOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := th.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := th.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, dev1, err := h.resolve(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dev2, err := h.resolve(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h.Device().FailAfter(budget)
+	// One deterministic group touching every combined op variant: a plain
+	// alloc, a transactional alloc (micro-log hook inside the group's commit
+	// window, through the publishing thread's window), and two frees.
+	ops := []*combineOp{
+		{kind: combAlloc, size: 64},
+		{kind: combAlloc, size: 256, lane: th.lane},
+		{kind: combFree, dev: dev1},
+		{kind: combFree, dev: dev2},
+	}
+	h.grant(th.pkru) // the publisher's rights the lane hook writes under
+	s.burst(ops)
+	h.revoke(th.pkru)
+	h.Device().DisarmFailpoint()
+	survived = true
+	for i, op := range ops {
+		if op.err != nil {
+			survived = false
+			if !errors.Is(op.err, nvm.ErrDeviceFailed) {
+				t.Fatalf("budget %d: op %d unexpected error: %v", budget, i, op.err)
+			}
+		}
+	}
+
+	if _, cerr := h.Device().Crash(policy); cerr != nil {
+		t.Fatal(cerr)
+	}
+	h2, err := Load(h.Device(), opts)
+	if err != nil {
+		t.Fatalf("budget %d: recovery failed: %v", budget, err)
+	}
+	report, err := h2.Check()
+	if err != nil {
+		t.Fatalf("budget %d: audit error: %v", budget, err)
+	}
+	if !report.OK() {
+		t.Fatalf("budget %d: heap inconsistent after crash: %v", budget, report.Problems)
+	}
+	if report.PendingUndo != 0 || report.PendingTx != 0 {
+		t.Fatalf("budget %d: recovery left pending work: %+v", budget, report)
+	}
+
+	// Group atomicity oracle: either BOTH frees landed or NEITHER did.
+	// Probing by freeing: nil means the block was still live (free reverted
+	// by recovery), ErrDoubleFree/ErrInvalidFree means it was already freed.
+	th2, err := h2.ThreadOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := func(p NVMPtr) bool {
+		err := th2.Free(p)
+		if err == nil {
+			return true
+		}
+		if errors.Is(err, ErrDoubleFree) || errors.Is(err, ErrInvalidFree) {
+			return false
+		}
+		t.Fatalf("budget %d: liveness probe: %v", budget, err)
+		return false
+	}
+	a1, a2 := alive(p1), alive(p2)
+	if a1 != a2 {
+		t.Fatalf("budget %d: group torn across crash: free(p1) landed=%v free(p2) landed=%v",
+			budget, !a1, !a2)
+	}
+	if survived && a1 {
+		t.Fatalf("budget %d: script survived but committed frees were reverted", budget)
+	}
+
+	// The recovered heap still combines.
+	p, err := th2.Alloc(64)
+	if err != nil {
+		t.Fatalf("budget %d: alloc after recovery: %v", budget, err)
+	}
+	if err := th2.Free(p); err != nil {
+		t.Fatalf("budget %d: free after recovery: %v", budget, err)
+	}
+	th2.Close()
+	h2.Close()
+	return survived
+}
+
+// TestSweepCombinedCommitTail kills the fixed 4-op combined group at EVERY
+// device-store boundary inside its single group commit, under all three
+// eviction policies, and audits recovery each time. This is the crash-proof
+// of the tentpole's safety argument: one shared seal and one shared
+// truncate for the whole group never tears its ops apart.
+func TestSweepCombinedCommitTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep is slow")
+	}
+	// Measure the script's store count on a healthy run.
+	groupOps := int64(1)
+	for ; ; groupOps++ {
+		if runCombinedGroupScript(t, groupOps, nvm.CrashPolicy{Mode: nvm.EvictNone}) {
+			break
+		}
+		if groupOps > 5000 {
+			t.Fatal("group never completed; failpoint accounting broken?")
+		}
+	}
+	t.Logf("group performs %d stores; sweeping every boundary x 3 policies", groupOps)
+	for b := int64(1); b < groupOps; b++ {
+		for _, policy := range []nvm.CrashPolicy{
+			{Mode: nvm.EvictNone},
+			{Mode: nvm.EvictAll},
+			{Mode: nvm.EvictRandom, Prob: 0.5, Seed: b * 7919},
+		} {
+			runCombinedGroupScript(t, b, policy)
+		}
+	}
+}

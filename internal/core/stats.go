@@ -21,27 +21,34 @@ type subheapStats struct {
 	magazineRefills atomic.Uint64
 	magazineFlushes atomic.Uint64
 	recoveredCached atomic.Uint64
+
+	combinedCommits  atomic.Uint64
+	combinedOps      atomic.Uint64
+	combineFallbacks atomic.Uint64
 }
 
 // HeapStats is an aggregated snapshot of allocator activity.
 type HeapStats struct {
-	Allocs             uint64 // singleton allocations served
-	TxAllocs           uint64 // transactional allocations served
-	Frees              uint64 // frees accepted
-	DefragMerges       uint64 // buddy merges performed by defragmentation
-	InvalidFrees       uint64 // frees rejected: address not a block
-	DoubleFrees        uint64 // frees rejected: block already free
-	RecoveredBlocks    uint64 // uncommitted tx allocations freed at recovery
-	RecoveredNoops     uint64 // micro-log entries already rolled back by undo
-	RemoteFrees        uint64 // cross-sub-heap frees enqueued on remote-free rings
-	RemoteDrains       uint64 // ring entries drained (owner batches + recovery replay)
-	RingFallbacks      uint64 // remote frees that found a full ring and took the locked path
-	MagazineHits       uint64 // allocs/frees served lock-free from a thread magazine
-	MagazineMisses     uint64 // magazine-eligible ops that fell back to the locked path
-	MagazineRefills    uint64 // batched magazine refill transactions
-	MagazineFlushes    uint64 // batched magazine flush-back transactions
-	RecoveredCached    uint64 // magazine-cached blocks returned to free lists at recovery
-	PermissionSwitches uint64 // WRPKRU executions (2 per guarded operation)
+	Allocs              uint64 // singleton allocations served
+	TxAllocs            uint64 // transactional allocations served
+	Frees               uint64 // frees accepted
+	DefragMerges        uint64 // buddy merges performed by defragmentation
+	InvalidFrees        uint64 // frees rejected: address not a block
+	DoubleFrees         uint64 // frees rejected: block already free
+	RecoveredBlocks     uint64 // uncommitted tx allocations freed at recovery
+	RecoveredNoops      uint64 // micro-log entries already rolled back by undo
+	RemoteFrees         uint64 // cross-sub-heap frees enqueued on remote-free rings
+	RemoteDrains        uint64 // ring entries drained (owner batches + recovery replay)
+	RingFallbacks       uint64 // remote frees that found a full ring and took the locked path
+	MagazineHits        uint64 // allocs/frees served lock-free from a thread magazine
+	MagazineMisses      uint64 // magazine-eligible ops that fell back to the locked path
+	MagazineRefills     uint64 // batched magazine refill transactions
+	MagazineFlushes     uint64 // batched magazine flush-back transactions
+	RecoveredCached     uint64 // magazine-cached blocks returned to free lists at recovery
+	CombinedCommits     uint64 // flat-combined group commits (one seal+truncate each)
+	CombinedOps         uint64 // operations served inside combined group commits
+	CombineFallbacks    uint64 // combined ops re-run solo (full array or group abort)
+	PermissionSwitches  uint64 // WRPKRU executions (2 per guarded operation)
 	QuarantinedSubheaps uint64 // sub-heaps recovery took out of service
 	QuarantinedBytes    uint64 // user capacity lost to quarantine
 	TransientRetries    uint64 // device I/O retries that survived ErrTransient

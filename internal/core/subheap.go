@@ -85,6 +85,22 @@ type subheap struct {
 	mirrorSeq uint64
 	mutations uint64
 
+	// comb is the DRAM flat-combining array (combine.go), non-nil only
+	// under Options.CombinedCommits: threads that fail to take mu publish
+	// an op descriptor here and the lock holder drains the array, executing
+	// every pending op inside one undo transaction with a single
+	// seal/flush-fence/truncate train. groupBatches are the pooled per-op
+	// staging batches the leader reuses across groups (guarded by mu).
+	comb         []atomic.Pointer[combineOp]
+	groupBatches []*txn.Batch
+	groupUndo    *plog.UndoLog // undo log groupBatches were built against
+	groupOps     []*combineOp  // leader's group scratch buffer, guarded by mu
+	// Leader-only staging scratch reused across groups (guarded by mu).
+	stagedScratch []stagedGroupOp
+	batchScratch  []*txn.Batch
+	hookScratch   []func() error
+	winReader     txn.Reader // s.win boxed once (avoids per-group allocation)
+
 	stats subheapStats
 
 	// rec tags this sub-heap's device traffic with the operation class in
@@ -159,11 +175,15 @@ func newSubheap(h *Heap, id int) (*subheap, error) {
 	}
 	s.win = mpk.NewWindow(h.dev, s.thread)
 	s.ring = memblock.NewRing(h.lay.ringBase(id))
+	if h.opts.CombinedCommits {
+		s.comb = make([]atomic.Pointer[combineOp], combineSlots)
+	}
 	if h.tel != nil {
 		s.rec = nvm.NewAttrRecorder(h.tel.Attribution(), nvm.ClassOther)
 		s.win = s.win.WithRecorder(s.rec)
 		s.gauge = &subheapGauges{freeByClass: make([]atomic.Int64, g.NumClasses)}
 	}
+	s.winReader = s.win // boxed once: the combine hot path needs the interface
 	s.mgr = memblock.NewManager(s.win, g)
 	return s, nil
 }
@@ -422,12 +442,22 @@ func (s *subheap) alloc(size uint64, lane *plog.MicroLog) (devOff uint64, err er
 	if s.isQuarantined() {
 		return 0, fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.quarantineReason())
 	}
+	if s.comb != nil {
+		return s.allocCombined(size, lane)
+	}
 	s.mu.Lock()
 	s.h.grant(s.thread)
 	defer func() {
 		s.h.revoke(s.thread)
 		s.mu.Unlock()
 	}()
+	return s.allocBodyLocked(size, lane)
+}
+
+// allocBodyLocked is the legacy per-op allocation body. Caller holds mu with
+// metadata rights; both the plain path and the combined mode's uncontended
+// fast path land here.
+func (s *subheap) allocBodyLocked(size uint64, lane *plog.MicroLog) (devOff uint64, err error) {
 	if err := s.ensureReady(); err != nil {
 		return 0, err
 	}
@@ -451,8 +481,15 @@ func (s *subheap) alloc(size uint64, lane *plog.MicroLog) (devOff uint64, err er
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrBadSize, err)
 	}
+	return s.allocLadderLocked(class, size, lane)
+}
 
-	var defraggedList, defraggedProbe, extended, drainedRing bool
+// allocLadderLocked is the locked allocation slow-path body: repeated
+// single-block attempts with the shared pressure ladder between them.
+// Caller holds mu with metadata rights on a ready sub-heap, attribution
+// class already set.
+func (s *subheap) allocLadderLocked(class int, size uint64, lane *plog.MicroLog) (uint64, error) {
+	var p pressure
 	for {
 		off, err := s.tryAlloc(class, lane)
 		if err == nil {
@@ -463,61 +500,83 @@ func (s *subheap) alloc(size uint64, lane *plog.MicroLog) (devOff uint64, err er
 			}
 			return off, nil
 		}
-		var ns *noSlotError
-		switch {
-		case errors.As(err, &ns):
-			// Hash table pressure: defragment the probe window, then
-			// extend the table, then give up (§5.2).
-			if !defraggedProbe {
-				defraggedProbe = true
-				if _, derr := s.defragProbeWindow(ns.key); derr != nil {
-					return 0, derr
-				}
-				continue
-			}
-			if !extended {
-				extended = true
-				if eerr := s.extendLevel(); eerr != nil {
-					if errors.Is(eerr, memblock.ErrTableFull) {
-						return 0, fmt.Errorf("%w: metadata table full", ErrOutOfMemory)
-					}
-					return 0, eerr
-				}
-				continue
-			}
-			return 0, fmt.Errorf("%w: metadata table full", ErrOutOfMemory)
-		case errors.Is(err, errNoFreeBlock):
-			// Space pressure: pending remote frees are the cheapest
-			// memory to reclaim — drain them before defragmenting.
-			if !drainedRing {
-				drainedRing = true
-				n, derr := s.drainRingLocked(0)
-				if derr != nil {
-					return 0, derr
-				}
-				if n > 0 {
-					continue
-				}
-			}
-			// Merge smaller free blocks upward (§5.4).
-			if !defraggedList {
-				defraggedList = true
-				progress, derr := s.defragFreeLists(class)
-				if derr != nil {
-					return 0, derr
-				}
-				if progress {
-					continue
-				}
-			}
-			return 0, fmt.Errorf("%w: %d bytes requested", ErrOutOfMemory, size)
-		default:
-			return 0, err
+		retry, err := s.relievePressure(&p, class, err)
+		if retry {
+			continue
 		}
+		if errors.Is(err, errNoFreeBlock) {
+			return 0, fmt.Errorf("%w: %d bytes requested", ErrOutOfMemory, size)
+		}
+		return 0, err
 	}
 }
 
-// carveOne stages the carve of one block of class `class` into s.batch:
+// pressure tracks which one-shot recovery rungs of the allocation pressure
+// ladder have fired. One instance spans all retries of one logical
+// operation (alloc, magazine refill, or a combined group's solo fallback).
+type pressure struct {
+	defraggedList, defraggedProbe, extended, drainedRing bool
+}
+
+// relievePressure runs the allocation pressure ladder rung matching err:
+// hash-table pressure defragments the probe window then extends the table
+// (§5.2); space pressure drains the remote-free ring (the cheapest memory
+// to reclaim) then merges free lists upward (§5.4). It returns retry=true
+// when a rung made progress and the caller should re-attempt. With the
+// ladder exhausted, space pressure returns errNoFreeBlock unwrapped so each
+// caller can word its own out-of-memory error; everything else returns
+// ready to surface. Caller holds mu with metadata rights on a ready
+// sub-heap and must have aborted any half-staged batch.
+func (s *subheap) relievePressure(p *pressure, class int, err error) (bool, error) {
+	var ns *noSlotError
+	switch {
+	case errors.As(err, &ns):
+		if !p.defraggedProbe {
+			p.defraggedProbe = true
+			if _, derr := s.defragProbeWindow(ns.key); derr != nil {
+				return false, derr
+			}
+			return true, nil
+		}
+		if !p.extended {
+			p.extended = true
+			if eerr := s.extendLevel(); eerr != nil {
+				if errors.Is(eerr, memblock.ErrTableFull) {
+					return false, fmt.Errorf("%w: metadata table full", ErrOutOfMemory)
+				}
+				return false, eerr
+			}
+			return true, nil
+		}
+		return false, fmt.Errorf("%w: metadata table full", ErrOutOfMemory)
+	case errors.Is(err, errNoFreeBlock):
+		if !p.drainedRing {
+			p.drainedRing = true
+			n, derr := s.drainRingLocked(0)
+			if derr != nil {
+				return false, derr
+			}
+			if n > 0 {
+				return true, nil
+			}
+		}
+		if !p.defraggedList {
+			p.defraggedList = true
+			progress, derr := s.defragFreeLists(class)
+			if derr != nil {
+				return false, derr
+			}
+			if progress {
+				return true, nil
+			}
+		}
+		return false, errNoFreeBlock
+	default:
+		return false, err
+	}
+}
+
+// carveOne stages the carve of one block of class `class` into b:
 // find the smallest non-empty class ≥ class via the free mask, unlink its
 // head, split halves down to the requested class (each upper half becomes
 // a new free buddy, §5.2) and mark the block allocated. Returns the
@@ -525,10 +584,10 @@ func (s *subheap) alloc(size uint64, lane *plog.MicroLog) (devOff uint64, err er
 // accounting). Nothing is committed; on error the caller must abort the
 // batch. The find phase stages no writes, so errNoFreeBlock leaves the
 // batch exactly as it was — refill relies on that to commit a partial
-// batch.
-func (s *subheap) carveOne(class int) (blockOff uint64, found int, err error) {
+// batch. b is s.batch on the legacy paths and a chained per-op batch in a
+// combined group (reads then see earlier group ops' staged state).
+func (s *subheap) carveOne(b *txn.Batch, class int) (blockOff uint64, found int, err error) {
 	g := s.mgr.Geometry()
-	b := s.batch
 	// One TrailingZeros64 over the DRAM nonempty bitmap replaces the
 	// per-class device head reads. A set bit is verified against the real
 	// head (through the batch, so staged pushes and removals in a multi-
@@ -598,7 +657,7 @@ func (s *subheap) tryAlloc(class int, lane *plog.MicroLog) (blockOff uint64, err
 		}
 	}()
 
-	blockOff, found, err := s.carveOne(class)
+	blockOff, found, err := s.carveOne(b, class)
 	if err != nil {
 		return 0, err
 	}
@@ -652,12 +711,24 @@ func (s *subheap) freeAs(blockOff uint64, cls nvm.OpClass) (err error) {
 	if s.isQuarantined() {
 		return fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.quarantineReason())
 	}
+	// Only plain frees combine; recovery rollback (ClassTxFree) keeps the
+	// legacy per-op path so its attribution and ordering stay untouched.
+	if s.comb != nil && cls == nvm.ClassFree {
+		return s.freeCombined(blockOff)
+	}
 	s.mu.Lock()
 	s.h.grant(s.thread)
 	defer func() {
 		s.h.revoke(s.thread)
 		s.mu.Unlock()
 	}()
+	return s.freeBodyLocked(blockOff, cls)
+}
+
+// freeBodyLocked is the legacy per-op free body. Caller holds mu with
+// metadata rights; both the plain path and the combined mode's uncontended
+// fast path land here.
+func (s *subheap) freeBodyLocked(blockOff uint64, cls nvm.OpClass) (err error) {
 	if err := s.ensureReady(); err != nil {
 		return err
 	}
@@ -672,34 +743,50 @@ func (s *subheap) freeAs(blockOff uint64, cls nvm.OpClass) (err error) {
 	return s.freeLocked(blockOff)
 }
 
+// stageFree validates and stages the free of the block at blockOff into b,
+// reading metadata through r — the raw window on the legacy path, the
+// chained batch itself in a combined group (so the free sees earlier group
+// ops' staged state). Validation rejects bump the counters and leave b
+// untouched; a staging error requires the caller to abort b. The freeMask
+// bit is set at stage time — an over-approximation until the commit lands,
+// which is always safe (and the commit-failure paths reseed the mask).
+func (s *subheap) stageFree(b *txn.Batch, r txn.Reader, blockOff uint64) (class int, size uint64, err error) {
+	slot, err := s.mgr.Lookup(r, blockOff)
+	if errors.Is(err, memblock.ErrNotFound) {
+		s.stats.invalidFrees.Add(1)
+		return 0, 0, ErrInvalidFree
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	rec, err := s.mgr.ReadRecord(r, slot)
+	if err != nil {
+		return 0, 0, err
+	}
+	if rec.Status == memblock.StatusFree {
+		s.stats.doubleFrees.Add(1)
+		return 0, 0, ErrDoubleFree
+	}
+	g := s.mgr.Geometry()
+	class, err = g.ClassOf(rec.Size)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: record size %d", ErrCorruptHeap, rec.Size)
+	}
+	// Tail insertion delays reuse of the just-freed block (§5.5).
+	if err := s.mgr.PushFreeTail(b, class, slot); err != nil {
+		return 0, 0, err
+	}
+	s.freeMask |= 1 << uint(class)
+	return class, rec.Size, nil
+}
+
 // freeLocked is the body of freeAs — and the exact per-entry logic the
 // remote-free ring drain replays. Caller holds mu with metadata rights on
 // a ready sub-heap.
 func (s *subheap) freeLocked(blockOff uint64) error {
-	slot, err := s.mgr.Lookup(s.win, blockOff)
-	if errors.Is(err, memblock.ErrNotFound) {
-		s.stats.invalidFrees.Add(1)
-		return ErrInvalidFree
-	}
-	if err != nil {
-		return err
-	}
-	rec, err := s.mgr.ReadRecord(s.win, slot)
-	if err != nil {
-		return err
-	}
-	if rec.Status == memblock.StatusFree {
-		s.stats.doubleFrees.Add(1)
-		return ErrDoubleFree
-	}
-	g := s.mgr.Geometry()
-	class, err := g.ClassOf(rec.Size)
-	if err != nil {
-		return fmt.Errorf("%w: record size %d", ErrCorruptHeap, rec.Size)
-	}
 	b := s.batch
-	// Tail insertion delays reuse of the just-freed block (§5.5).
-	if err := s.mgr.PushFreeTail(b, class, slot); err != nil {
+	class, size, err := s.stageFree(b, s.winReader, blockOff)
+	if err != nil {
 		b.Abort()
 		return err
 	}
@@ -711,12 +798,11 @@ func (s *subheap) freeLocked(blockOff uint64) error {
 		_ = s.reseedFreeMask()
 		return err
 	}
-	s.freeMask |= 1 << uint(class)
 	s.stats.frees.Add(1)
 	s.noteMirrorMutation()
 	if s.gauge != nil {
 		s.gauge.allocBlocks.Add(-1)
-		s.gauge.allocBytes.Add(-int64(rec.Size))
+		s.gauge.allocBytes.Add(-int64(size))
 		s.gauge.freeByClass[class].Add(1)
 	}
 	return nil
@@ -983,61 +1069,23 @@ func (s *subheap) refillMagazine(class, want int, man plog.Manifest, slot0 uint6
 	if tdone := s.traceBegin(obs.OpRefill, uint64(want)*g.ClassSize(class)); tdone != nil {
 		defer func() { tdone(err) }()
 	}
-	// Same pressure-recovery ladder as the alloc slow path: hash-table
-	// pressure defragments the probe window then extends the table; space
-	// pressure drains the remote ring then merges free lists. stageCarves
-	// aborts its batch before surfacing either, so the recovery ops run on
-	// a clean slate.
-	var defraggedList, defraggedProbe, extended, drainedRing bool
+	// Same pressure-recovery ladder as the alloc slow path (shared via
+	// relievePressure): hash-table pressure defragments the probe window
+	// then extends the table; space pressure drains the remote ring then
+	// merges free lists. stageCarves aborts its batch before surfacing
+	// either, so the recovery ops run on a clean slate.
+	var p pressure
 	for {
 		blocks, founds, err := s.stageCarves(class, want)
 		if err != nil {
-			var ns *noSlotError
-			switch {
-			case errors.As(err, &ns):
-				if !defraggedProbe {
-					defraggedProbe = true
-					if _, derr := s.defragProbeWindow(ns.key); derr != nil {
-						return nil, derr
-					}
-					continue
-				}
-				if !extended {
-					extended = true
-					if eerr := s.extendLevel(); eerr != nil {
-						if errors.Is(eerr, memblock.ErrTableFull) {
-							return nil, fmt.Errorf("%w: metadata table full", ErrOutOfMemory)
-						}
-						return nil, eerr
-					}
-					continue
-				}
-				return nil, fmt.Errorf("%w: metadata table full", ErrOutOfMemory)
-			case errors.Is(err, errNoFreeBlock):
-				if !drainedRing {
-					drainedRing = true
-					n, derr := s.drainRingLocked(0)
-					if derr != nil {
-						return nil, derr
-					}
-					if n > 0 {
-						continue
-					}
-				}
-				if !defraggedList {
-					defraggedList = true
-					progress, derr := s.defragFreeLists(class)
-					if derr != nil {
-						return nil, derr
-					}
-					if progress {
-						continue
-					}
-				}
-				return nil, fmt.Errorf("%w: magazine refill of class %d", ErrOutOfMemory, class)
-			default:
-				return nil, err
+			retry, err := s.relievePressure(&p, class, err)
+			if retry {
+				continue
 			}
+			if errors.Is(err, errNoFreeBlock) {
+				return nil, fmt.Errorf("%w: magazine refill of class %d", ErrOutOfMemory, class)
+			}
+			return nil, err
 		}
 		hook := func() error {
 			for i, off := range blocks {
@@ -1088,7 +1136,7 @@ func (s *subheap) refillMagazine(class, want int, man plog.Manifest, slot0 uint6
 // a half-staged carve — aborts the whole batch and surfaces.
 func (s *subheap) stageCarves(class, want int) (blocks []uint64, founds []int, err error) {
 	for i := 0; i < want; i++ {
-		off, found, cerr := s.carveOne(class)
+		off, found, cerr := s.carveOne(s.batch, class)
 		if cerr != nil {
 			if errors.Is(cerr, errNoFreeBlock) && len(blocks) > 0 {
 				break

@@ -50,9 +50,17 @@ type Thread struct {
 
 // Thread registers a new allocation context. Shards are assigned
 // round-robin over the sub-heaps — the portable analogue of the paper's
-// "sub-heap of the CPU the thread runs on" (DESIGN.md §1).
+// "sub-heap of the CPU the thread runs on" (DESIGN.md §1). Quarantined
+// sub-heaps are skipped: pinning a fresh thread to one would make its very
+// first Alloc pay the redirect penalty for the thread's whole lifetime.
+// When every sub-heap is quarantined the raw pick stands — registration
+// still succeeds, and the per-op paths surface the quarantine errors.
 func (h *Heap) Thread() (*Thread, error) {
-	return h.ThreadOn(int(h.nextShard.Add(1)-1) % h.lay.subheaps)
+	shard := int(h.nextShard.Add(1)-1) % h.lay.subheaps
+	if hs, err := h.healthyShard(shard); err == nil {
+		shard = hs
+	}
+	return h.ThreadOn(shard)
 }
 
 // ThreadOn registers an allocation context pinned to a specific sub-heap

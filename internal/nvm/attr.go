@@ -32,13 +32,15 @@ const (
 	ClassScrub
 	ClassRoot
 	ClassUser
-	ClassProfile // profiler side-table snapshot writes
+	ClassProfile  // profiler side-table snapshot writes
+	ClassCombined // flat-combined group commits serving ops of mixed classes
 	NumClasses
 )
 
 var classNames = [NumClasses]string{
 	"other", "alloc", "free", "txalloc", "txfree", "defrag",
 	"format", "recovery", "scrub", "root", "user", "profile",
+	"combined",
 }
 
 func (c OpClass) String() string {

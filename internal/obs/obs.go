@@ -32,12 +32,13 @@ const (
 	OpLoad     // whole Load call
 	OpScrub    // ScrubOnLoad audit / online scrubber slice
 	OpRepair   // quarantine repair of one sub-heap
+	OpCombine  // flat-combined group commit executed by the lock holder
 	NumOps
 )
 
 var opNames = [NumOps]string{
 	"alloc", "free", "txalloc", "txfree", "defrag", "drain", "refill", "recovery", "load", "scrub",
-	"repair",
+	"repair", "combine",
 }
 
 func (o Op) String() string {
@@ -56,10 +57,14 @@ func (o Op) String() string {
 // follows the same rule on the alloc side: refill traffic is charged to
 // ClassAlloc, which OpAlloc already explains. OpRepair charges
 // ClassRecovery, which OpRecovery already explains, so it maps to no class.
+// OpCombine maps to ClassCombined: one group commit serves ops of several
+// logical classes, so its device traffic is charged to the dedicated
+// combined class (keeping sum-over-classes == device-total) and the
+// combine histogram explains exactly that class.
 var attrClassOf = [NumOps]nvm.OpClass{
 	nvm.ClassAlloc, nvm.ClassFree, nvm.ClassTxAlloc, nvm.ClassTxFree,
 	nvm.ClassDefrag, nvm.NumClasses, nvm.NumClasses, nvm.ClassRecovery, nvm.NumClasses, nvm.ClassScrub,
-	nvm.NumClasses,
+	nvm.NumClasses, nvm.ClassCombined,
 }
 
 // Options configures a Telemetry instance.

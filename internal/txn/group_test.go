@@ -1,0 +1,259 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"poseidon/internal/mpk"
+	"poseidon/internal/nvm"
+	"poseidon/internal/plog"
+)
+
+// newGroupFixture builds a window, an undo log and n empty batches sharing
+// them — the shape CommitGroup consumes — on a stats-enabled device.
+func newGroupFixture(t *testing.T, n int) ([]*Batch, mpk.Window, *plog.UndoLog, *nvm.Device) {
+	t.Helper()
+	d, err := nvm.NewDevice(nvm.Options{Capacity: 1 << 20, CrashTracking: true, Stats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := mpk.NewUnit(d.Capacity())
+	w := mpk.NewWindow(d, u.NewThread(mpk.RightsRW))
+	log, err := plog.OpenUndoLog(w, logBase, logSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := make([]*Batch, n)
+	for i := range batches {
+		batches[i] = NewBatch(w, log)
+	}
+	return batches, w, log, d
+}
+
+// TestCommitGroupMergesBatches commits three chained batches as one
+// transaction: one seal, one truncate, last-writer-wins on overlapping
+// offsets, and every staged word durable on the device.
+func TestCommitGroupMergesBatches(t *testing.T) {
+	bs, w, log, _ := newGroupFixture(t, 3)
+	for i, b := range bs {
+		if i > 0 {
+			b.SetParent(bs[i-1])
+		}
+		if err := b.WriteU64(metaBase+uint64(i)*8, uint64(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overlap: batch 2 overwrites batch 0's word; the merged image must keep
+	// the later value.
+	if err := bs[2].WriteU64(metaBase, 999); err != nil {
+		t.Fatal(err)
+	}
+	seals0, trunc0 := log.Seals(), log.Truncates()
+	if err := CommitGroup(bs, make([]func() error, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.Seals() - seals0; got != 1 {
+		t.Fatalf("group of 3 cost %d seals, want 1", got)
+	}
+	if got := log.Truncates() - trunc0; got != 1 {
+		t.Fatalf("group of 3 cost %d truncates, want 1", got)
+	}
+	want := map[uint64]uint64{metaBase: 999, metaBase + 8: 101, metaBase + 16: 102}
+	for off, v := range want {
+		if got, _ := w.ReadU64(off); got != v {
+			t.Fatalf("device[%#x] = %d, want %d", off, got, v)
+		}
+	}
+	for i, b := range bs {
+		if b.Len() != 0 {
+			t.Fatalf("batch %d not drained after group commit: len=%d", i, b.Len())
+		}
+	}
+}
+
+// TestCommitGroupParentChain checks read-your-writes ACROSS group members:
+// a later batch reads an earlier batch's staged (uncommitted) word through
+// its parent, falling through to the device when no member staged the
+// offset.
+func TestCommitGroupParentChain(t *testing.T) {
+	bs, w, _, _ := newGroupFixture(t, 2)
+	if err := w.PersistU64(metaBase+32, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := bs[0].WriteU64(metaBase, 42); err != nil {
+		t.Fatal(err)
+	}
+	bs[1].SetParent(bs[0])
+	if v, _ := bs[1].ReadU64(metaBase); v != 42 {
+		t.Fatalf("chained read = %d, want staged 42", v)
+	}
+	if v, _ := bs[1].ReadU64(metaBase + 32); v != 7 {
+		t.Fatalf("fall-through read = %d, want device 7", v)
+	}
+	// Own staged writes still shadow the parent.
+	if err := bs[1].WriteU64(metaBase, 43); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := bs[1].ReadU64(metaBase); v != 43 {
+		t.Fatalf("own-write read = %d, want 43", v)
+	}
+	// Detaching restores plain device reads.
+	bs[1].Abort()
+	bs[1].SetParent(nil)
+	if v, _ := bs[1].ReadU64(metaBase); v != 0 {
+		t.Fatalf("detached read = %d, want device 0", v)
+	}
+}
+
+// TestCommitGroupHookOrderAndAbort checks the hook window: per-op hooks run
+// in op order AFTER the merged image is durable and BEFORE the shared
+// truncate, and a failing hook leaves the transaction replayable (the
+// caller's undo replay must restore every pre-group value).
+func TestCommitGroupHookOrderAndAbort(t *testing.T) {
+	bs, w, log, _ := newGroupFixture(t, 3)
+	for i, b := range bs {
+		if err := w.PersistU64(metaBase+uint64(i)*8, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteU64(metaBase+uint64(i)*8, uint64(50+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []int
+	boom := errors.New("hook boom")
+	hooks := []func() error{
+		func() error {
+			// The merged image must already be applied when hooks run.
+			if v, _ := w.ReadU64(metaBase + 16); v != 52 {
+				t.Fatalf("hook 0 ran before apply: device = %d", v)
+			}
+			order = append(order, 0)
+			return nil
+		},
+		func() error { order = append(order, 1); return boom },
+		func() error { order = append(order, 2); return nil },
+	}
+	err := CommitGroup(bs, hooks)
+	if !errors.Is(err, boom) {
+		t.Fatalf("CommitGroup = %v, want hook error", err)
+	}
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("hook order = %v, want [0 1] (stop at first failure)", order)
+	}
+	// The failed group must be fully revertible: the undo log was not
+	// truncated, so replay restores the pre-group image.
+	for _, b := range bs {
+		b.Abort()
+	}
+	if err := log.Replay(); err != nil {
+		t.Fatalf("replay after failed group: %v", err)
+	}
+	for i := uint64(0); i < 3; i++ {
+		if v, _ := w.ReadU64(metaBase + i*8); v != i {
+			t.Fatalf("device[%d] = %d after replay, want %d", i, v, i)
+		}
+	}
+}
+
+// TestCommitGroupDedupsFlushes is the fence/flush amortization contract: k
+// ops staging words in the SAME cache line must cost far fewer flushes and
+// fences as one group than as k solo commits.
+func TestCommitGroupDedupsFlushes(t *testing.T) {
+	const k = 8
+	solo, _, _, dSolo := newGroupFixture(t, k)
+	s0 := dSolo.StatsSnapshot()
+	for i, b := range solo {
+		if err := b.WriteU64(metaBase+uint64(i)*8, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1 := dSolo.StatsSnapshot()
+	soloFlushes, soloFences := s1.Flushes-s0.Flushes, s1.Fences-s0.Fences
+
+	group, _, _, dGroup := newGroupFixture(t, k)
+	for i, b := range group {
+		if i > 0 {
+			b.SetParent(group[i-1])
+		}
+		if err := b.WriteU64(metaBase+uint64(i)*8, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g0 := dGroup.StatsSnapshot()
+	if err := CommitGroup(group, make([]func() error, k)); err != nil {
+		t.Fatal(err)
+	}
+	g1 := dGroup.StatsSnapshot()
+	groupFlushes, groupFences := g1.Flushes-g0.Flushes, g1.Fences-g0.Fences
+
+	t.Logf("k=%d same-line ops: solo %d flushes / %d fences, group %d flushes / %d fences",
+		k, soloFlushes, soloFences, groupFlushes, groupFences)
+	if groupFlushes*2 > soloFlushes {
+		t.Fatalf("group commit did not halve flushes: %d vs %d solo", groupFlushes, soloFlushes)
+	}
+	if groupFences*2 > soloFences {
+		t.Fatalf("group commit did not halve fences: %d vs %d solo", groupFences, soloFences)
+	}
+}
+
+// TestCommitGroupEmpty covers the degenerate shapes: no batches, and
+// batches with nothing staged (hooks must still run exactly once).
+func TestCommitGroupEmpty(t *testing.T) {
+	if err := CommitGroup(nil, nil); err != nil {
+		t.Fatalf("empty group: %v", err)
+	}
+	bs, _, log, _ := newGroupFixture(t, 2)
+	seals0 := log.Seals()
+	ran := 0
+	hooks := []func() error{func() error { ran++; return nil }, nil}
+	if err := CommitGroup(bs, hooks); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("hook ran %d times on empty-batch group, want 1", ran)
+	}
+	if log.Seals() != seals0 {
+		t.Fatalf("empty-batch group sealed the log (%d new seals)", log.Seals()-seals0)
+	}
+}
+
+// BenchmarkBatchFind guards the staged-word lookup: WriteU64 re-staging and
+// ReadU64 both search the staged set, and the open-addressed index must
+// keep large batches (merged groups) from going quadratic.
+func BenchmarkBatchFind(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("words=%d", n), func(b *testing.B) {
+			d, err := nvm.NewDevice(nvm.Options{Capacity: 1 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			u := mpk.NewUnit(d.Capacity())
+			w := mpk.NewWindow(d, u.NewThread(mpk.RightsRW))
+			log, err := plog.OpenUndoLog(w, logBase, logSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := NewBatch(w, log)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < n; j++ {
+					if err := batch.WriteU64(metaBase+uint64(j)*8, uint64(j)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// Hit every staged word once: the read path is the scan the
+				// index exists for.
+				for j := 0; j < n; j++ {
+					if _, err := batch.ReadU64(metaBase + uint64(j)*8); err != nil {
+						b.Fatal(err)
+					}
+				}
+				batch.Abort()
+			}
+		})
+	}
+}
