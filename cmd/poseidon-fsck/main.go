@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"poseidon/internal/core"
 	"poseidon/internal/nvm"
@@ -39,6 +40,10 @@ type report struct {
 	Status   string
 	Repaired int `json:",omitempty"`
 	Report   core.CheckReport
+	// Timeline is the black-box flight-recorder reconstruction (-timeline):
+	// events, sampled spans and stalls recovered from the image's persistent
+	// ring, ascending sequence order.
+	Timeline []core.BlackboxEntry `json:",omitempty"`
 }
 
 func main() {
@@ -47,8 +52,9 @@ func main() {
 	repair := flag.Bool("repair", false, "repair quarantined sub-heaps and save the image back (implies -scrub)")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	jobs := flag.Int("j", 0, "recovery/scrub/repair worker count (0 = all cores, 1 = serial)")
+	timeline := flag.Bool("timeline", false, "reconstruct the black-box flight-recorder timeline from the image")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: poseidon-fsck [-raw] [-scrub] [-repair] [-json] [-j N] <heap-image>")
+		fmt.Fprintln(os.Stderr, "usage: poseidon-fsck [-raw] [-scrub] [-repair] [-timeline] [-json] [-j N] <heap-image>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -64,7 +70,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "poseidon-fsck: -j must not be negative")
 		os.Exit(2)
 	}
-	rep, err := run(flag.Arg(0), *raw, *scrub, *repair, *jobs)
+	rep, err := run(flag.Arg(0), *raw, *scrub, *repair, *timeline, *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "poseidon-fsck:", err)
 		os.Exit(2)
@@ -90,6 +96,9 @@ func main() {
 		os.Exit(code)
 	}
 	printReport(rep)
+	if *timeline {
+		printTimeline(rep.Timeline)
+	}
 	os.Exit(code)
 }
 
@@ -129,7 +138,23 @@ func printReport(rep report) {
 	}
 }
 
-func run(path string, raw, scrub, repair bool, jobs int) (report, error) {
+func printTimeline(tl []core.BlackboxEntry) {
+	fmt.Printf("black-box timeline: %d entries\n", len(tl))
+	for _, e := range tl {
+		fmt.Printf("  %6d %s %-5s %-14s sub=%-3d", e.Seq,
+			e.Time.Format("15:04:05.000000"), e.Type, e.Kind, e.Subheap)
+		if e.Type == "span" {
+			fmt.Printf(" lane=%-3d dur=%s flushes=%d fences=%d",
+				e.Lane, time.Duration(e.DurNS), e.Flushes, e.Fences)
+		}
+		if e.Detail != "" {
+			fmt.Printf("  %s", e.Detail)
+		}
+		fmt.Println()
+	}
+}
+
+func run(path string, raw, scrub, repair, timeline bool, jobs int) (report, error) {
 	dev, err := nvm.LoadFile(path, nvm.Options{})
 	if err != nil {
 		return report{}, err
@@ -157,6 +182,14 @@ func run(path string, raw, scrub, repair bool, jobs int) (report, error) {
 	rep.Report, err = h.Check()
 	if err != nil {
 		return rep, err
+	}
+	if timeline {
+		tl, terr := h.BlackboxTimeline()
+		if terr != nil {
+			// A torn ring never fails the audit — report and move on.
+			fmt.Fprintln(os.Stderr, "poseidon-fsck: black-box timeline:", terr)
+		}
+		rep.Timeline = tl
 	}
 	if repair && rep.Repaired > 0 {
 		if err := h.SaveFile(path); err != nil {

@@ -61,7 +61,7 @@ func corruptImage(t *testing.T) string {
 func TestFsckRepairRoundTrip(t *testing.T) {
 	path := corruptImage(t)
 
-	rep, err := run(path, false, true, false, 1)
+	rep, err := run(path, false, true, false, false, 1)
 	if err != nil {
 		t.Fatalf("scrub run: %v", err)
 	}
@@ -74,7 +74,7 @@ func TestFsckRepairRoundTrip(t *testing.T) {
 
 	// Repair through the parallel walk (-j 4): the healed image must be
 	// indistinguishable from a serial repair's.
-	rep, err = run(path, false, false, true, 4)
+	rep, err = run(path, false, false, true, false, 4)
 	if err != nil {
 		t.Fatalf("repair run: %v", err)
 	}
@@ -87,7 +87,7 @@ func TestFsckRepairRoundTrip(t *testing.T) {
 	}
 
 	// The healed image was written back: a fresh audit is clean.
-	rep, err = run(path, false, true, false, 4)
+	rep, err = run(path, false, true, false, false, 4)
 	if err != nil {
 		t.Fatalf("re-audit run: %v", err)
 	}

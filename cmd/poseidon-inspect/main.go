@@ -7,6 +7,8 @@
 //	poseidon-inspect -stats -json heap.img     # the same snapshot as JSON
 //	poseidon-inspect -profile heap.img         # recovered allocation sites
 //	poseidon-inspect -profile -pprof p.pb.gz heap.img  # and write pprof
+//	poseidon-inspect -blackbox heap.img        # black-box timeline, raw image
+//	poseidon-inspect -events heap.img          # recovery journal + black box
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"poseidon/internal/core"
 	"poseidon/internal/nvm"
@@ -23,11 +26,13 @@ import (
 
 func main() {
 	stats := flag.Bool("stats", false, "print the full telemetry snapshot (latency, attribution, gauges, health, events) after loading")
-	asJSON := flag.Bool("json", false, "with -stats: print the snapshot as JSON instead of text")
+	asJSON := flag.Bool("json", false, "with -stats/-events/-blackbox: print JSON instead of text")
 	profile := flag.Bool("profile", false, "print the allocation-site profile recovered from the image's persistent side-table")
 	pprofOut := flag.String("pprof", "", "with -profile: also write the profile as gzipped pprof protobuf to this file (go tool pprof compatible)")
+	events := flag.Bool("events", false, "run recovery, then dump the drained event journal plus the black-box timeline")
+	blackbox := flag.Bool("blackbox", false, "reconstruct the black-box flight-recorder timeline from the raw image (no recovery)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: poseidon-inspect [-stats [-json]] [-profile [-pprof out.pb.gz]] <heap-image>")
+		fmt.Fprintln(os.Stderr, "usage: poseidon-inspect [-stats [-json]] [-profile [-pprof out.pb.gz]] [-events] [-blackbox] <heap-image>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -35,24 +40,48 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, flag.Arg(0), *stats, *asJSON, *profile, *pprofOut); err != nil {
+	if err := run(os.Stdout, flag.Arg(0), *stats, *asJSON, *profile, *events, *blackbox, *pprofOut); err != nil {
 		fmt.Fprintln(os.Stderr, "poseidon-inspect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, path string, stats, asJSON, profile bool, pprofOut string) error {
+func run(out io.Writer, path string, stats, asJSON, profile, events, blackbox bool, pprofOut string) error {
 	var tel *obs.Telemetry
-	if stats || profile {
+	if stats || profile || events {
 		tel = obs.New()
 	}
 	dev, err := nvm.LoadFile(path, nvm.Options{Stats: stats})
 	if err != nil {
 		return err
 	}
+	if blackbox {
+		// Raw attach: the post-crash ring exactly as the image holds it —
+		// no recovery, no epoch bump, no header rewrite.
+		h, err := core.Attach(dev, core.Options{})
+		if err != nil {
+			return err
+		}
+		tl, err := h.BlackboxTimeline()
+		if err != nil {
+			return err
+		}
+		return dumpTimeline(out, asJSON, nil, tl)
+	}
 	h, err := core.Load(dev, core.Options{Telemetry: tel})
 	if err != nil {
 		return err
+	}
+	if events {
+		// The journal now holds this load's recovery events; the black box
+		// holds the crashed run's history plus those same events (published
+		// at load). Drained oldest-first, per the journal's ordering
+		// guarantee.
+		tl, terr := h.BlackboxTimeline()
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, "poseidon-inspect: black-box timeline:", terr)
+		}
+		return dumpTimeline(out, asJSON, tel.DrainEvents(), tl)
 	}
 	if profile {
 		return dumpProfile(out, h, pprofOut)
@@ -69,6 +98,40 @@ func run(out io.Writer, path string, stats, asJSON, profile bool, pprofOut strin
 		return enc.Encode(snap)
 	}
 	return obs.WriteText(out, snap)
+}
+
+// dumpTimeline prints the drained journal (when the caller ran recovery)
+// and the black-box timeline, as human text or one JSON document.
+func dumpTimeline(out io.Writer, asJSON bool, journal []obs.Event, tl []core.BlackboxEntry) error {
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Journal  []obs.Event          `json:",omitempty"`
+			Blackbox []core.BlackboxEntry `json:",omitempty"`
+		}{journal, tl})
+	}
+	if journal != nil {
+		fmt.Fprintf(out, "event journal (this load): %d events\n", len(journal))
+		for _, e := range journal {
+			fmt.Fprintf(out, "  %6d %s %-14s sub=%-3d %s\n", e.Seq,
+				e.At.Format("15:04:05.000000"), e.KindStr, e.Subheap, e.Detail)
+		}
+	}
+	fmt.Fprintf(out, "black-box timeline: %d entries\n", len(tl))
+	for _, e := range tl {
+		fmt.Fprintf(out, "  %6d %s %-5s %-14s sub=%-3d", e.Seq,
+			e.Time.Format("15:04:05.000000"), e.Type, e.Kind, e.Subheap)
+		if e.Type == "span" {
+			fmt.Fprintf(out, " lane=%-3d dur=%s flushes=%d fences=%d",
+				e.Lane, time.Duration(e.DurNS), e.Flushes, e.Fences)
+		}
+		if e.Detail != "" {
+			fmt.Fprintf(out, "  %s", e.Detail)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
 }
 
 // dumpProfile prints the allocation sites recovered from the image's

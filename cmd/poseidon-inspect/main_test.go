@@ -69,7 +69,7 @@ func buildImage(t *testing.T) string {
 
 func TestInspectPlain(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, buildImage(t), false, false, false, ""); err != nil {
+	if err := run(&buf, buildImage(t), false, false, false, false, false, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if buf.Len() == 0 {
@@ -81,7 +81,7 @@ func TestInspectProfile(t *testing.T) {
 	path := buildImage(t)
 	pprofPath := filepath.Join(t.TempDir(), "p.pb.gz")
 	var buf bytes.Buffer
-	if err := run(&buf, path, false, false, true, pprofPath); err != nil {
+	if err := run(&buf, path, false, false, true, false, false, pprofPath); err != nil {
 		t.Fatalf("run -profile: %v", err)
 	}
 	out := buf.String()
@@ -119,7 +119,7 @@ func TestInspectProfile(t *testing.T) {
 // and self-healing repair counters.
 func TestInspectStatsJSONRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, buildImage(t), true, true, false, ""); err != nil {
+	if err := run(&buf, buildImage(t), true, true, false, false, false, ""); err != nil {
 		t.Fatalf("run -stats -json: %v", err)
 	}
 	var snap obs.Snapshot
@@ -144,7 +144,7 @@ func TestInspectStatsJSONRoundTrip(t *testing.T) {
 
 func TestInspectStatsText(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, buildImage(t), true, false, false, ""); err != nil {
+	if err := run(&buf, buildImage(t), true, false, false, false, false, ""); err != nil {
 		t.Fatalf("run -stats: %v", err)
 	}
 	if !strings.Contains(buf.String(), "health") {
@@ -155,7 +155,7 @@ func TestInspectStatsText(t *testing.T) {
 
 func TestInspectMissingFile(t *testing.T) {
 	var buf bytes.Buffer
-	err := run(&buf, filepath.Join(t.TempDir(), "nope.img"), false, false, false, "")
+	err := run(&buf, filepath.Join(t.TempDir(), "nope.img"), false, false, false, false, false, "")
 	if err == nil {
 		t.Fatal("missing image accepted")
 	}

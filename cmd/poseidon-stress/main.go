@@ -41,6 +41,7 @@ func run() error {
 		profRate = flag.Int("profile-rate", 0, "sample 1-in-N allocations into the site profiler (0 = off); served at /debug/pprof/poseidon_heap")
 		trcRate  = flag.Int("trace-rate", 0, "sample 1-in-N operations as spans (0 = off); served at /debug/optrace")
 		optrace  = flag.String("optrace", "", "write the final op-span trace as Chrome trace-event JSON to this path")
+		watchdog = flag.Duration("watchdog", 0, "stall-watchdog threshold (0 = off); stalls are journalled and recorded in the black box")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func run() error {
 		Telemetry:       tel,
 		Profile:         core.ProfileOptions{Rate: *profRate},
 		Trace:           core.TraceOptions{Rate: *trcRate},
+		Watchdog:        core.WatchdogOptions{StallThreshold: *watchdog},
 	}
 	if *optrace != "" && *trcRate <= 0 {
 		return errors.New("-optrace needs -trace-rate > 0")
@@ -76,6 +78,11 @@ func run() error {
 				if perr := cur.Load().PersistProfile(); perr != nil {
 					fmt.Fprintln(os.Stderr, "poseidon-stress: persisting profile:", perr)
 				}
+			}
+			// Publish staged black-box records so the saved image carries
+			// the freshest timeline (best-effort).
+			if ferr := cur.Load().FlushBlackbox(); ferr != nil {
+				fmt.Fprintln(os.Stderr, "poseidon-stress: flushing black box:", ferr)
 			}
 			if err := cur.Load().SaveFile(*save); err != nil {
 				fmt.Fprintln(os.Stderr, "poseidon-stress: saving image:", err)
@@ -102,6 +109,7 @@ func run() error {
 		if *trcRate > 0 {
 			cfg.Trace = func() []byte { return cur.Load().TraceJSON() }
 		}
+		cfg.Blackbox = func() ([]byte, error) { return cur.Load().BlackboxJSON() }
 		srv, err := obs.ServeConfig(*metrics, cfg)
 		if err != nil {
 			return err
@@ -183,11 +191,17 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		tel.Emit(obs.EventCrash, -1, fmt.Sprintf(
-			"cycle %d: power failure kept %d/%d dirty lines", cycle, crash.PersistedLines, crash.DirtyLines))
 		h2, err := core.Load(h.Device(), opts)
 		if err != nil {
 			return fmt.Errorf("cycle %d: recovery failed: %w", cycle, err)
+		}
+		// Emitted after Load so the event stages into the surviving heap's
+		// black box (the crashed heap's staging is gone, as after real power
+		// loss); the cycle boundary is a commit point, so drain the ring.
+		tel.Emit(obs.EventCrash, -1, fmt.Sprintf(
+			"cycle %d: power failure kept %d/%d dirty lines", cycle, crash.PersistedLines, crash.DirtyLines))
+		if err := h2.FlushBlackbox(); err != nil {
+			fmt.Fprintln(os.Stderr, "poseidon-stress: flushing black box:", err)
 		}
 		report, err := h2.Check()
 		if err != nil {

@@ -108,6 +108,34 @@ type Heap struct {
 	profWrote  bool // a snapshot generation exists (written or recovered)
 	profPace   atomic.Uint64
 
+	// Black-box flight recorder state (blackbox.go): a dedicated window
+	// publishes staged event/span records into the persistent ring under
+	// bbMu; bbEpoch is the boot epoch (monotone across restarts), bbSeq the
+	// next record sequence, bbHdrGen/bbSlot the next header generation and
+	// A/B slot. bbRecovered holds the timeline replayed from the image at
+	// load for post-mortem rendering.
+	bbMu        sync.Mutex
+	bbThread    *mpk.Thread
+	bbWin       mpk.Window
+	bbOn        bool
+	bbEpoch     uint64
+	bbSeq       uint64
+	bbHdrGen    uint64
+	bbSlot      int
+	bbStaged    []plog.BoxRecord
+	bbSpanSeq   uint64 // tracer sequence high-water already mirrored
+	bbRecovered []plog.BoxRecord
+	bbPublished atomic.Uint64
+	bbDropped   atomic.Uint64
+	bbTorn      atomic.Uint64
+
+	// Stall watchdog state (watchdog.go); wd is nil when disabled — the
+	// sub-heap lock sites pay exactly one nil check then.
+	wd          *watchdog
+	tap         *nvm.LatencyTap
+	stallsTotal atomic.Uint64
+	openedAt    time.Time
+
 	closed bool
 	mu     sync.Mutex // guards closed
 }
@@ -119,7 +147,8 @@ func Create(opts Options) (*Heap, error) {
 		return nil, err
 	}
 	lay, err := computeLayout(opts.Subheaps, opts.SubheapUserSize, opts.SubheapMetaSize,
-		opts.UndoLogSize, opts.MaxThreads, opts.MicroLogLaneSize, opts.magSlots(), defaultProfSize)
+		opts.UndoLogSize, opts.MaxThreads, opts.MicroLogLaneSize, opts.magSlots(),
+		defaultProfSize, defaultBoxSize)
 	if err != nil {
 		return nil, err
 	}
@@ -144,8 +173,10 @@ func Create(opts Options) (*Heap, error) {
 	h.profEpoch = 1
 	h.profSeq = 1
 	h.prof.SetEpoch(1)
+	h.initBlackboxFresh()
 	h.recomputeHealth()
 	h.startScrubber()
+	h.startWatchdog()
 	return h, nil
 }
 
@@ -176,6 +207,7 @@ func Load(dev *nvm.Device, opts Options) (*Heap, error) {
 		return nil, rerr
 	}
 	h.loadProfile()
+	h.loadBlackbox()
 	h.recomputeHealth()
 	if h.tel != nil {
 		h.tel.Record(obs.OpLoad, time.Since(start))
@@ -185,6 +217,7 @@ func Load(dev *nvm.Device, opts Options) (*Heap, error) {
 			st.RecoveredBlocks, st.RecoveredNoops, st.QuarantinedSubheaps))
 	}
 	h.startScrubber()
+	h.startWatchdog()
 	return h, nil
 }
 
@@ -260,6 +293,25 @@ func assemble(dev *nvm.Device, lay layout, opts Options) (*Heap, error) {
 		h.profWin = mpk.NewWindow(dev, h.profThread).
 			WithRecorder(nvm.NewAttrRecorder(h.tel.Attribution(), nvm.ClassProfile))
 	}
+	// The black-box window exists even without telemetry: Attach-mode tools
+	// (poseidon-fsck, poseidon-inspect) replay the persistent ring from a
+	// crashed image with no registry wired.
+	h.bbThread = unit.NewThread(defaultRights(opts))
+	h.bbWin = mpk.NewWindow(dev, h.bbThread)
+	if h.tel != nil {
+		h.bbWin = h.bbWin.WithRecorder(nvm.NewAttrRecorder(h.tel.Attribution(), nvm.ClassBlackbox))
+		// Journal events mirror into the black-box staging buffer from here
+		// on; the latest heap sharing a registry wins the mirror slot.
+		h.tel.SetMirror(h)
+	}
+	if opts.Watchdog.StallThreshold > 0 {
+		// Outlier threshold for the fence/flush latency tap: an eighth of
+		// the stall threshold — slow device ops show up well before the
+		// watchdog would fire.
+		h.tap = nvm.NewLatencyTap(opts.Watchdog.StallThreshold/8, nil)
+		dev.SetLatencyTap(h.tap)
+	}
+	h.openedAt = time.Now()
 
 	h.freeLanes = make([]int, 0, lay.laneCount)
 	for i := lay.laneCount - 1; i >= 0; i-- {
@@ -365,16 +417,17 @@ func (h *Heap) format() error {
 		{sbUndoSizeOff, h.lay.undoSize},
 		{sbMagSlotsOff, h.lay.magSlots},
 		{sbProfSizeOff, h.lay.profSize},
+		{sbBoxSizeOff, h.lay.boxSize},
 	}
 	for _, f := range fields {
 		if err := w.WriteU64(f.off, f.val); err != nil {
 			return err
 		}
 	}
-	// Flush every header field (including the magSlots/profSize words past
-	// the initialized slot — the initialized word itself is still zero
-	// here) before the commit point below makes them meaningful.
-	if err := w.Flush(0, sbProfSizeOff+8); err != nil {
+	// Flush every header field (including the magSlots/profSize/boxSize
+	// words past the initialized slot — the initialized word itself is
+	// still zero here) before the commit point below makes them meaningful.
+	if err := w.Flush(0, sbBoxSizeOff+8); err != nil {
 		return err
 	}
 	w.Fence()
@@ -447,7 +500,7 @@ func readLayout(dev *nvm.Device) (layout, error) {
 	lay, err := computeLayout(
 		int(read(sbSubheapsOff)), read(sbUserSizeOff), read(sbMetaSizeOff),
 		read(sbUndoSizeOff), int(read(sbLaneCountOff)), read(sbLaneSizeOff),
-		read(sbMagSlotsOff), read(sbProfSizeOff))
+		read(sbMagSlotsOff), read(sbProfSizeOff), read(sbBoxSizeOff))
 	if ioErr != nil {
 		return layout{}, fmt.Errorf("superblock read: %w", ioErr)
 	}
@@ -895,9 +948,18 @@ func (h *Heap) SaveFile(path string) error { return h.dev.SaveFile(path) }
 // an in-flight slice to finish). It does not save; call SaveFile first if
 // durability across process restarts is wanted.
 func (h *Heap) Close() error {
-	// Persist the final profile snapshot while the heap is still open
-	// (best-effort: a failed write leaves the previous generation valid).
+	// Persist the final profile snapshot and seal the black-box ring while
+	// the heap is still open (both best-effort: a failed write leaves the
+	// previous generation valid).
 	_ = h.PersistProfile()
+	_ = h.FlushBlackbox()
+	h.sealBlackbox()
+	h.stopWatchdog()
+	if h.tel != nil {
+		// Detach the mirror so a shared registry stops staging into a
+		// closed heap.
+		h.tel.SetMirror(nil)
+	}
 	h.mu.Lock()
 	h.closed = true
 	stop := h.scrubStop

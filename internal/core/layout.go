@@ -52,6 +52,13 @@ const (
 	// DRAM-only — and the layout is otherwise byte-identical, so
 	// heapVersion stays 1.
 	sbProfSizeOff = 104
+	// sbBoxSizeOff records the byte size of the black-box flight-recorder
+	// arena (the crash-surviving event/span ring; see
+	// internal/plog/blackbox.go). Same backward-compat contract again:
+	// images written before the recorder existed read zero — no arena, the
+	// journal stays DRAM-only — and the layout is otherwise byte-identical,
+	// so heapVersion stays 1.
+	sbBoxSizeOff = 112
 
 	sbHeaderPages = 1
 	sbUndoOff     = sbHeaderPages * nvm.PageSize
@@ -109,20 +116,25 @@ type layout struct {
 	laneSize    uint64
 	magSlots    uint64 // cache-manifest words per lane (0: no manifest arena)
 	profSize    uint64 // profile side-table arena bytes (0: no arena)
+	boxSize     uint64 // black-box flight-recorder arena bytes (0: no arena)
 	manifestOff uint64 // device offset of lane 0's cache manifest
 	profOff     uint64 // device offset of the profile side-table arena
+	boxOff      uint64 // device offset of the black-box arena
 	subheapOff  uint64 // device offset of sub-heap 0
 	stride      uint64 // metaSize + userSize
 	capacity    uint64
 }
 
-func computeLayout(subheaps int, userSize, metaSize, undoSize uint64, laneCount int, laneSize, magSlots, profSize uint64) (layout, error) {
+func computeLayout(subheaps int, userSize, metaSize, undoSize uint64, laneCount int, laneSize, magSlots, profSize, boxSize uint64) (layout, error) {
 	arena := uint64(laneCount) * laneSize
 	manOff := (sbLaneArena + arena + nvm.PageSize - 1) &^ (nvm.PageSize - 1)
 	profOff := (manOff + uint64(laneCount)*magSlots*8 + nvm.PageSize - 1) &^ (nvm.PageSize - 1)
-	// profSize == 0 (pre-profiler image) leaves subOff == profOff: the
-	// layout is byte-identical to one computed before the arena existed.
-	subOff := (profOff + profSize + nvm.PageSize - 1) &^ (nvm.PageSize - 1)
+	// profSize == 0 (pre-profiler image) leaves boxOff == profOff, and
+	// boxSize == 0 (pre-recorder image) leaves subOff == boxOff: each
+	// zero-sized arena keeps the layout byte-identical to one computed
+	// before that arena existed.
+	boxOff := (profOff + profSize + nvm.PageSize - 1) &^ (nvm.PageSize - 1)
+	subOff := (boxOff + boxSize + nvm.PageSize - 1) &^ (nvm.PageSize - 1)
 	l := layout{
 		subheaps:    subheaps,
 		userSize:    userSize,
@@ -132,8 +144,10 @@ func computeLayout(subheaps int, userSize, metaSize, undoSize uint64, laneCount 
 		laneSize:    laneSize,
 		magSlots:    magSlots,
 		profSize:    profSize,
+		boxSize:     boxSize,
 		manifestOff: manOff,
 		profOff:     profOff,
+		boxOff:      boxOff,
 		subheapOff:  subOff,
 		stride:      metaSize + userSize,
 	}
@@ -180,6 +194,13 @@ func (l layout) laneManifestBase(i int) uint64 {
 // (Valid() false) on images provisioned before the profiler existed.
 func (l layout) profArena() plog.SiteArena {
 	return plog.NewSiteArena(l.profOff, l.profSize)
+}
+
+// boxArena returns the black-box flight-recorder arena geometry.
+// Zero-capacity (Valid() false) on images provisioned before the recorder
+// existed.
+func (l layout) boxArena() plog.BoxArena {
+	return plog.NewBoxArena(l.boxOff, l.boxSize)
 }
 
 // memblockGeometry computes sub-heap i's metadata layout.

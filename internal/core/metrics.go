@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"poseidon/internal/nvm"
 	"poseidon/internal/obs"
 )
@@ -64,6 +66,37 @@ func (h *Heap) Metrics() *obs.Snapshot {
 
 	if h.tel != nil {
 		snap.Subheaps = h.subheapGaugeList()
+	}
+
+	bi := obs.CollectBuildInfo()
+	snap.Build = &bi
+	epoch, nextSeq, bbOn := h.bbState()
+	snap.Runtime = &obs.RuntimeStatus{
+		BootEpoch:     epoch,
+		UptimeSeconds: time.Since(h.openedAt).Seconds(),
+	}
+	if h.wd != nil {
+		ts := h.tap.Snapshot()
+		snap.Watchdog = &obs.WatchdogStats{
+			Enabled:          true,
+			StallThresholdNS: h.wd.threshold.Nanoseconds(),
+			Stalls:           h.stallsTotal.Load(),
+			FlushOutliers:    ts.FlushOutliers,
+			FenceOutliers:    ts.FenceOutliers,
+			FlushMaxNS:       ts.FlushMaxNS,
+			FenceMaxNS:       ts.FenceMaxNS,
+		}
+	}
+	if arena := h.lay.boxArena(); arena.Valid() {
+		snap.Blackbox = &obs.BlackboxStats{
+			Enabled:         bbOn,
+			CapacityRecords: arena.Capacity(),
+			Persisted:       h.bbPublished.Load(),
+			Dropped:         h.bbDropped.Load(),
+			Torn:            h.bbTorn.Load(),
+			Epoch:           epoch,
+			NextSeq:         nextSeq,
+		}
 	}
 
 	ds := h.dev.StatsSnapshot()

@@ -130,6 +130,15 @@ type Options struct {
 	// sub-events the operation issued, into a fixed ring exported as Chrome
 	// trace-event JSON. Requires Telemetry. Zero value: disabled.
 	Trace TraceOptions
+	// Watchdog configures the stall watchdog: a background goroutine that
+	// scans every sub-heap's in-flight locked operation and journals an
+	// EventStall (into both the DRAM journal and the black-box ring) for
+	// any that exceed StallThreshold, with sub-heap, op kind and held-lock
+	// attribution. Enabling it also instruments the sub-heap lock sites
+	// with lock-wait/lock-hold histograms and attaches the device
+	// fence/flush latency outlier tap. Requires Telemetry. Zero value:
+	// disabled (one nil check per lock site).
+	Watchdog WatchdogOptions
 	// DeviceStats enables flush/fence counters on the device.
 	DeviceStats bool
 	// Telemetry, when non-nil, wires the heap into the telemetry registry:
@@ -187,6 +196,17 @@ type TraceOptions struct {
 	Buffer int
 }
 
+// WatchdogOptions paces the opt-in stall watchdog.
+type WatchdogOptions struct {
+	// StallThreshold is the deadline after which an in-flight locked
+	// operation counts as stalled; 0 disables the watchdog entirely.
+	StallThreshold time.Duration
+	// Interval is the pause between watchdog scans. Defaults to
+	// StallThreshold/4 (floored at 1ms), so a stall is detected within
+	// ~1.25x its threshold.
+	Interval time.Duration
+}
+
 // OnlineScrubOptions paces the opt-in background scrubber.
 type OnlineScrubOptions struct {
 	// Interval is the pause between full scrub passes; 0 disables the
@@ -223,6 +243,15 @@ const (
 	// Old images read a zero sbProfSize word: no arena, profiling runs
 	// DRAM-only (samples aggregate but nothing persists).
 	defaultProfSize = 64 << 10
+
+	// defaultBoxSize is the black-box flight-recorder arena every new image
+	// provisions (two header cachelines + ~510 record slots of 128 bytes)
+	// even when no telemetry is attached, so the recorder can start mirroring
+	// the moment a heap is reopened with Telemetry — the reopen-to-enable
+	// contract once more. Old images read a zero sbBoxSize word: no ring,
+	// the journal stays DRAM-only and post-mortem tools report "no black
+	// box" instead of failing.
+	defaultBoxSize = 64 << 10
 )
 
 // magSlots returns the per-lane manifest word count a new image should
@@ -268,6 +297,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Magazines.Capacity > 0 && o.Magazines.Classes == 0 {
 		o.Magazines.Classes = defaultMagClasses
+	}
+	if o.Watchdog.StallThreshold > 0 && o.Watchdog.Interval == 0 {
+		o.Watchdog.Interval = o.Watchdog.StallThreshold / 4
+		if o.Watchdog.Interval < time.Millisecond {
+			o.Watchdog.Interval = time.Millisecond
+		}
 	}
 	if o.Telemetry != nil {
 		// Per-class attribution without the flat device counters would be
@@ -317,6 +352,12 @@ func (o Options) validate() error {
 	}
 	if (o.Profile.Rate > 0 || o.Trace.Rate > 0) && o.Telemetry == nil {
 		return fmt.Errorf("poseidon: Profile/Trace require Options.Telemetry")
+	}
+	if o.Watchdog.StallThreshold < 0 || o.Watchdog.Interval < 0 {
+		return fmt.Errorf("poseidon: watchdog threshold/interval must not be negative")
+	}
+	if o.Watchdog.StallThreshold > 0 && o.Telemetry == nil {
+		return fmt.Errorf("poseidon: Watchdog requires Options.Telemetry")
 	}
 	if o.Magazines.Capacity != 0 {
 		if o.Magazines.Capacity < 2 || o.Magazines.Capacity > 4096 {

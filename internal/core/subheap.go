@@ -108,6 +108,56 @@ type subheap struct {
 	// non-nil only when the heap runs with telemetry.
 	rec   *nvm.AttrRecorder
 	gauge *subheapGauges
+
+	// Watchdog hold-state (watchdog.go), maintained by lockOp/unlockOp only
+	// when h.wd is set. Publication order matters: lockOp stores wdOp, bumps
+	// wdToken, and stores wdSince LAST, so a watchdog scan that sees a
+	// non-zero wdSince observes the op/token of that acquisition. wdHold is
+	// owner-only scratch (guarded by mu); stallInject is a one-shot test
+	// failpoint armed by Heap.InjectStall.
+	wdSince     atomic.Int64  // hold-start UnixNano; 0 = lock not held
+	wdOp        atomic.Uint32 // obs.Op in flight
+	wdToken     atomic.Uint64 // acquisition counter for stall de-dup
+	wdHold      time.Time
+	stallInject atomic.Int64 // ns to sleep inside the next lockOp
+}
+
+// lockOp acquires the sub-heap lock with metadata rights, timing the wait
+// and publishing hold-start state for the stall watchdog. A heap without a
+// watchdog pays exactly one nil check over the plain lock sequence.
+func (s *subheap) lockOp(op obs.Op) {
+	if s.h.wd == nil {
+		s.mu.Lock()
+		s.h.grant(s.thread)
+		return
+	}
+	start := time.Now()
+	s.mu.Lock()
+	s.h.grant(s.thread)
+	now := time.Now()
+	s.h.tel.RecordOn(s.id, obs.OpLockWait, now.Sub(start))
+	s.wdHold = now
+	s.wdOp.Store(uint32(op))
+	s.wdToken.Add(1)
+	s.wdSince.Store(now.UnixNano())
+	if d := s.stallInject.Swap(0); d > 0 {
+		// Armed failpoint: hold the lock long enough for the watchdog.
+		time.Sleep(time.Duration(d))
+	}
+}
+
+// unlockOp is lockOp's release half: clears the hold-start marker, records
+// the hold-time histogram, and releases rights and lock.
+func (s *subheap) unlockOp() {
+	if s.h.wd == nil {
+		s.h.revoke(s.thread)
+		s.mu.Unlock()
+		return
+	}
+	s.wdSince.Store(0)
+	s.h.tel.RecordOn(s.id, obs.OpLockHold, time.Since(s.wdHold))
+	s.h.revoke(s.thread)
+	s.mu.Unlock()
 }
 
 // subheapGauges are DRAM-only occupancy gauges, maintained on the alloc/
@@ -445,12 +495,12 @@ func (s *subheap) alloc(size uint64, lane *plog.MicroLog) (devOff uint64, err er
 	if s.comb != nil {
 		return s.allocCombined(size, lane)
 	}
-	s.mu.Lock()
-	s.h.grant(s.thread)
-	defer func() {
-		s.h.revoke(s.thread)
-		s.mu.Unlock()
-	}()
+	op := obs.OpAlloc
+	if lane != nil {
+		op = obs.OpTxAlloc
+	}
+	s.lockOp(op)
+	defer s.unlockOp()
 	return s.allocBodyLocked(size, lane)
 }
 
@@ -716,12 +766,12 @@ func (s *subheap) freeAs(blockOff uint64, cls nvm.OpClass) (err error) {
 	if s.comb != nil && cls == nvm.ClassFree {
 		return s.freeCombined(blockOff)
 	}
-	s.mu.Lock()
-	s.h.grant(s.thread)
-	defer func() {
-		s.h.revoke(s.thread)
-		s.mu.Unlock()
-	}()
+	op := obs.OpFree
+	if cls == nvm.ClassTxFree {
+		op = obs.OpTxFree
+	}
+	s.lockOp(op)
+	defer s.unlockOp()
 	return s.freeBodyLocked(blockOff, cls)
 }
 
@@ -947,12 +997,8 @@ func (s *subheap) drainRemote() error {
 	if !s.ring.Armed() || s.isQuarantined() {
 		return nil
 	}
-	s.mu.Lock()
-	s.h.grant(s.thread)
-	defer func() {
-		s.h.revoke(s.thread)
-		s.mu.Unlock()
-	}()
+	s.lockOp(obs.OpDrain)
+	defer s.unlockOp()
 	if err := s.ensureReady(); err != nil {
 		return err
 	}
@@ -1050,12 +1096,8 @@ func (s *subheap) refillMagazine(class, want int, man plog.Manifest, slot0 uint6
 	if s.isQuarantined() {
 		return nil, fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.quarantineReason())
 	}
-	s.mu.Lock()
-	s.h.grant(s.thread)
-	defer func() {
-		s.h.revoke(s.thread)
-		s.mu.Unlock()
-	}()
+	s.lockOp(obs.OpRefill)
+	defer s.unlockOp()
 	if err := s.ensureReady(); err != nil {
 		return nil, err
 	}
@@ -1172,12 +1214,8 @@ func (s *subheap) flushCached(devOffs []uint64, man plog.Manifest, words []uint6
 	if s.isQuarantined() {
 		return 0, fmt.Errorf("%w: sub-heap %d (%s)", ErrSubheapQuarantined, s.id, s.quarantineReason())
 	}
-	s.mu.Lock()
-	s.h.grant(s.thread)
-	defer func() {
-		s.h.revoke(s.thread)
-		s.mu.Unlock()
-	}()
+	s.lockOp(obs.OpFree)
+	defer s.unlockOp()
 	if err := s.ensureReady(); err != nil {
 		return 0, err
 	}

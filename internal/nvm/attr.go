@@ -34,13 +34,14 @@ const (
 	ClassUser
 	ClassProfile  // profiler side-table snapshot writes
 	ClassCombined // flat-combined group commits serving ops of mixed classes
+	ClassBlackbox // black-box flight-recorder ring publishes
 	NumClasses
 )
 
 var classNames = [NumClasses]string{
 	"other", "alloc", "free", "txalloc", "txfree", "defrag",
 	"format", "recovery", "scrub", "root", "user", "profile",
-	"combined",
+	"combined", "blackbox",
 }
 
 func (c OpClass) String() string {

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 const (
@@ -88,6 +89,10 @@ type Device struct {
 	chunks    []atomic.Pointer[chunk]
 
 	resident atomic.Int64 // bytes of materialised backing memory
+
+	// tap is the optional fence/flush latency outlier tap (tap.go); nil
+	// costs one atomic pointer load per Flush/Fence.
+	tap atomic.Pointer[LatencyTap]
 }
 
 // NewDevice creates a device of the configured capacity.
@@ -357,6 +362,16 @@ func (d *Device) Zero(off, n uint64) error {
 // must still be ordered by a Fence for crash-consistency reasoning, but in
 // this model the lines are durable as soon as Flush returns.
 func (d *Device) Flush(off, n uint64) error {
+	if tap := d.tap.Load(); tap != nil {
+		start := time.Now()
+		err := d.flush(off, n)
+		tap.observe(tapFlush, time.Since(start))
+		return err
+	}
+	return d.flush(off, n)
+}
+
+func (d *Device) flush(off, n uint64) error {
 	if n == 0 {
 		return nil
 	}
@@ -402,6 +417,14 @@ func (d *Device) Flush(off, n uint64) error {
 // documents its ordering points and so the counters reflect real barrier
 // traffic.
 func (d *Device) Fence() {
+	if tap := d.tap.Load(); tap != nil {
+		start := time.Now()
+		if d.stats != nil {
+			d.stats.Fences.Add(1)
+		}
+		tap.observe(tapFence, time.Since(start))
+		return
+	}
 	if d.stats != nil {
 		d.stats.Fences.Add(1)
 	}

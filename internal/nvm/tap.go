@@ -1,0 +1,106 @@
+package nvm
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// LatencyTap is the fence/flush latency outlier tap: when attached to a
+// Device it times every Flush and Fence and counts the ones exceeding a
+// threshold, keeping the running maximum per operation. The tap is the
+// watchdog's view of device-side stalls (fence storms, a slow media write)
+// that per-op histograms average away.
+//
+// A detached device (the default) pays one atomic pointer load per
+// Flush/Fence; an attached tap adds two clock reads and, for outliers, an
+// optional callback.
+type LatencyTap struct {
+	threshold int64 // nanoseconds; observations above this count as outliers
+
+	flushObserved atomic.Uint64
+	fenceObserved atomic.Uint64
+	flushOutliers atomic.Uint64
+	fenceOutliers atomic.Uint64
+	flushMaxNS    atomic.Int64
+	fenceMaxNS    atomic.Int64
+
+	// onOutlier, when non-nil, runs inline on the flushing goroutine for
+	// every outlier. It must be cheap and must not issue device I/O.
+	onOutlier func(op string, d time.Duration)
+}
+
+// NewLatencyTap creates a tap. threshold <= 0 counts every observation as
+// an outlier (useful in tests); onOutlier may be nil.
+func NewLatencyTap(threshold time.Duration, onOutlier func(op string, d time.Duration)) *LatencyTap {
+	return &LatencyTap{threshold: int64(threshold), onOutlier: onOutlier}
+}
+
+// TapSnapshot is a point-in-time copy of a tap's counters.
+type TapSnapshot struct {
+	ThresholdNS   int64
+	FlushObserved uint64
+	FenceObserved uint64
+	FlushOutliers uint64
+	FenceOutliers uint64
+	FlushMaxNS    int64
+	FenceMaxNS    int64
+}
+
+// Snapshot copies the counters. Nil-safe (zero snapshot).
+func (t *LatencyTap) Snapshot() TapSnapshot {
+	if t == nil {
+		return TapSnapshot{}
+	}
+	return TapSnapshot{
+		ThresholdNS:   t.threshold,
+		FlushObserved: t.flushObserved.Load(),
+		FenceObserved: t.fenceObserved.Load(),
+		FlushOutliers: t.flushOutliers.Load(),
+		FenceOutliers: t.fenceOutliers.Load(),
+		FlushMaxNS:    t.flushMaxNS.Load(),
+		FenceMaxNS:    t.fenceMaxNS.Load(),
+	}
+}
+
+const (
+	tapFlush = "flush"
+	tapFence = "fence"
+)
+
+func (t *LatencyTap) observe(op string, d time.Duration) {
+	ns := int64(d)
+	var outliers *atomic.Uint64
+	switch op {
+	case tapFlush:
+		t.flushObserved.Add(1)
+		maxUpdate(&t.flushMaxNS, ns)
+		outliers = &t.flushOutliers
+	default:
+		t.fenceObserved.Add(1)
+		maxUpdate(&t.fenceMaxNS, ns)
+		outliers = &t.fenceOutliers
+	}
+	if ns < t.threshold {
+		return
+	}
+	outliers.Add(1)
+	if t.onOutlier != nil {
+		t.onOutlier(op, d)
+	}
+}
+
+func maxUpdate(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// SetLatencyTap attaches (or, with nil, detaches) a latency tap. Safe to
+// call concurrently with device I/O.
+func (d *Device) SetLatencyTap(t *LatencyTap) { d.tap.Store(t) }
+
+// GetLatencyTap returns the attached tap, nil when detached.
+func (d *Device) GetLatencyTap() *LatencyTap { return d.tap.Load() }

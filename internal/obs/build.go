@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the binary a scrape came from — the answer to "which
+// build produced this metric?" during an incident.
+type BuildInfo struct {
+	GoVersion string
+	// Revision is the VCS commit the binary was built from, "unknown" when
+	// the build carried no VCS stamp (e.g. `go test` binaries).
+	Revision string
+	// Modified reports a dirty working tree at build time.
+	Modified bool
+}
+
+// RuntimeStatus is the boot-scoped status block: which boot epoch the heap
+// is on (the black-box ring's epoch counter, monotone across restarts) and
+// how long this process has had it open.
+type RuntimeStatus struct {
+	BootEpoch     uint64
+	UptimeSeconds float64
+}
+
+// WatchdogStats summarises the stall watchdog and the device latency tap.
+type WatchdogStats struct {
+	Enabled          bool
+	StallThresholdNS int64
+	// Stalls is the lifetime count of detected stalls (poseidon_stalls_total).
+	Stalls        uint64
+	FlushOutliers uint64
+	FenceOutliers uint64
+	FlushMaxNS    int64
+	FenceMaxNS    int64
+}
+
+// BlackboxStats summarises the persistent flight recorder.
+type BlackboxStats struct {
+	Enabled         bool
+	CapacityRecords uint64
+	// Persisted counts records published to the ring this boot; Dropped
+	// counts staged entries the bounded staging buffer displaced; Torn
+	// counts ring slots found damaged at load.
+	Persisted uint64
+	Dropped   uint64
+	Torn      uint64
+	Epoch     uint64
+	NextSeq   uint64
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// CollectBuildInfo reads the binary's embedded build metadata once and
+// caches it (debug.ReadBuildInfo walks the module graph; not hot-path
+// material).
+func CollectBuildInfo() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{GoVersion: runtime.Version(), Revision: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}

@@ -21,6 +21,9 @@ type MuxConfig struct {
 	// Trace, when set, serves /debug/optrace: buffered op spans as Chrome
 	// trace-event JSON.
 	Trace func() []byte
+	// Blackbox, when set, serves /debug/blackbox: the flight-recorder
+	// timeline (events + spans + stalls, sequence-ordered) as JSON.
+	Blackbox func() ([]byte, error)
 }
 
 // NewMux builds the metrics endpoint served by the -metrics flag of the
@@ -63,6 +66,17 @@ func NewMuxFrom(cfg MuxConfig) *http.ServeMux {
 		mux.HandleFunc("/debug/optrace", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			_, _ = w.Write(cfg.Trace())
+		})
+	}
+	if cfg.Blackbox != nil {
+		mux.HandleFunc("/debug/blackbox", func(w http.ResponseWriter, r *http.Request) {
+			b, err := cfg.Blackbox()
+			if err != nil {
+				http.Error(w, fmt.Sprintf("blackbox: %v", err), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(b)
 		})
 	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {

@@ -23,12 +23,14 @@ const (
 	EventRepair                          // a quarantined sub-heap was repaired (or repair failed)
 	EventHealthChange                    // the heap's health state machine transitioned
 	EventProfileReset                    // persistent profile side-table was torn; profile reset
+	EventStall                           // watchdog saw an in-flight op exceed its deadline
+	EventBlackboxTorn                    // black-box ring tail was torn; timeline truncated
 	NumEventKinds
 )
 
 var eventKindNames = [NumEventKinds]string{
 	"quarantine", "transient_retry", "scrub_finding", "crash", "recovery", "violation",
-	"free_rejected", "repair", "health_change", "profile_reset",
+	"free_rejected", "repair", "health_change", "profile_reset", "stall", "blackbox_torn",
 }
 
 func (k EventKind) String() string {
@@ -74,15 +76,17 @@ func newJournal(capacity int) *Journal {
 	return &Journal{buf: make([]Event, capacity)}
 }
 
-// Emit appends an event, stamping its sequence number and time.
-func (j *Journal) Emit(kind EventKind, subheap int, detail string) {
+// Emit appends an event, stamping its sequence number and time, and returns
+// the stamped event (so a mirror can forward the exact entry).
+func (j *Journal) Emit(kind EventKind, subheap int, detail string) Event {
 	if int(kind) < len(j.byKind) {
 		j.byKind[kind].Add(1)
 	}
 	j.mu.Lock()
-	j.buf[j.next%uint64(len(j.buf))] = Event{
+	e := Event{
 		Seq: j.next, At: time.Now(), Kind: kind, Subheap: subheap, Detail: detail,
 	}
+	j.buf[j.next%uint64(len(j.buf))] = e
 	if j.retained == len(j.buf) {
 		j.overwritten++
 	} else {
@@ -90,6 +94,7 @@ func (j *Journal) Emit(kind EventKind, subheap int, detail string) {
 	}
 	j.next++
 	j.mu.Unlock()
+	return e
 }
 
 // snapshotLocked copies the retained events oldest-first. Caller holds mu.

@@ -80,6 +80,76 @@ func TestJournalDrain(t *testing.T) {
 	}
 }
 
+// TestJournalDrainOrderAcrossWrap pins the oldest-first drain guarantee at
+// every position of the write cursor relative to the ring boundary: no
+// matter how many wraps the ring has absorbed, Drain returns the retained
+// events in strictly ascending sequence order with no gaps and no
+// duplicates against a fresh emit stream.
+func TestJournalDrainOrderAcrossWrap(t *testing.T) {
+	const cap = 5
+	// Sweep total emissions 0..3*cap so the cursor lands on, before, and
+	// after the wrap boundary (including exact multiples of cap).
+	for total := 0; total <= 3*cap; total++ {
+		j := newJournal(cap)
+		for i := 0; i < total; i++ {
+			j.Emit(EventRecovery, i, fmt.Sprintf("e%d", i))
+		}
+		got := j.Drain()
+		retained := total
+		if retained > cap {
+			retained = cap
+		}
+		if len(got) != retained {
+			t.Fatalf("total %d: drained %d events, want %d", total, len(got), retained)
+		}
+		for i, e := range got {
+			want := uint64(total - retained + i)
+			if e.Seq != want {
+				t.Fatalf("total %d: drained[%d].Seq = %d, want %d (not oldest-first)",
+					total, i, e.Seq, want)
+			}
+			if e.Detail != fmt.Sprintf("e%d", want) {
+				t.Fatalf("total %d: drained[%d] = %+v, want detail e%d", total, i, e, want)
+			}
+		}
+		// Post-drain emissions continue the same sequence, still ordered.
+		j.Emit(EventCrash, -1, "tail")
+		if tail := j.Drain(); len(tail) != 1 || tail[0].Seq != uint64(total) {
+			t.Fatalf("total %d: post-drain emit = %+v", total, tail)
+		}
+	}
+}
+
+// captureMirror records mirrored events for the mirror-hook test.
+type captureMirror struct{ got []Event }
+
+func (m *captureMirror) MirrorEvent(e Event) { m.got = append(m.got, e) }
+
+func TestTelemetryEventMirror(t *testing.T) {
+	tel := NewWithOptions(Options{Shards: 1, JournalSize: 4})
+	m := &captureMirror{}
+	tel.SetMirror(m)
+	tel.Emit(EventStall, 2, "op alloc stuck")
+	tel.Emit(EventBlackboxTorn, -1, "3 records unreadable")
+	if len(m.got) != 2 {
+		t.Fatalf("mirror saw %d events, want 2", len(m.got))
+	}
+	if m.got[0].Kind != EventStall || m.got[0].Seq != 0 || m.got[0].Subheap != 2 {
+		t.Fatalf("mirrored[0] = %+v", m.got[0])
+	}
+	if m.got[1].Kind != EventBlackboxTorn || m.got[1].Seq != 1 {
+		t.Fatalf("mirrored[1] = %+v", m.got[1])
+	}
+	if m.got[0].At.IsZero() {
+		t.Fatal("mirrored event missing timestamp")
+	}
+	tel.SetMirror(nil)
+	tel.Emit(EventCrash, -1, "after detach")
+	if len(m.got) != 2 {
+		t.Fatal("detached mirror still receiving events")
+	}
+}
+
 func TestTelemetryJournalOptions(t *testing.T) {
 	tel := NewWithOptions(Options{Shards: 1, JournalSize: 2})
 	tel.Emit(EventScrubFinding, 0, "a")

@@ -10,6 +10,7 @@ package obs
 
 import (
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"poseidon/internal/nvm"
@@ -33,12 +34,14 @@ const (
 	OpScrub    // ScrubOnLoad audit / online scrubber slice
 	OpRepair   // quarantine repair of one sub-heap
 	OpCombine  // flat-combined group commit executed by the lock holder
+	OpLockWait // time spent waiting for a sub-heap lock (watchdog contention layer)
+	OpLockHold // time a locked sub-heap operation held the lock
 	NumOps
 )
 
 var opNames = [NumOps]string{
 	"alloc", "free", "txalloc", "txfree", "defrag", "drain", "refill", "recovery", "load", "scrub",
-	"repair", "combine",
+	"repair", "combine", "lock_wait", "lock_hold",
 }
 
 func (o Op) String() string {
@@ -60,11 +63,13 @@ func (o Op) String() string {
 // OpCombine maps to ClassCombined: one group commit serves ops of several
 // logical classes, so its device traffic is charged to the dedicated
 // combined class (keeping sum-over-classes == device-total) and the
-// combine histogram explains exactly that class.
+// combine histogram explains exactly that class. OpLockWait/OpLockHold are
+// pure contention timings — they explain no device traffic at all — so they
+// map to no class.
 var attrClassOf = [NumOps]nvm.OpClass{
 	nvm.ClassAlloc, nvm.ClassFree, nvm.ClassTxAlloc, nvm.ClassTxFree,
 	nvm.ClassDefrag, nvm.NumClasses, nvm.NumClasses, nvm.ClassRecovery, nvm.NumClasses, nvm.ClassScrub,
-	nvm.NumClasses, nvm.ClassCombined,
+	nvm.NumClasses, nvm.ClassCombined, nvm.NumClasses, nvm.NumClasses,
 }
 
 // Options configures a Telemetry instance.
@@ -77,17 +82,34 @@ type Options struct {
 	JournalSize int
 }
 
+// EventMirror receives every journal event as it is emitted — the hook the
+// black-box flight recorder hangs off. A mirror must only stage the event
+// in DRAM (no device I/O, no re-entrant Emit) and return quickly; events
+// are rare but can fire with allocator locks held.
+type EventMirror interface {
+	MirrorEvent(e Event)
+}
+
 // Telemetry is the per-heap (or per-process) telemetry registry.
 type Telemetry struct {
 	hists   [NumOps]*Histogram
 	journal *Journal
 	attr    *nvm.Attribution
 
+	// mirror, when set, sees every emitted journal event (the black-box
+	// flight recorder). Atomic: SetMirror may race with a concurrent Emit
+	// when a heap is reloaded over a shared registry after a simulated
+	// crash.
+	mirror atomic.Pointer[mirrorBox]
+
 	// prof and tracer are wired by core when profiling/tracing is enabled
 	// so snapshots and the HTTP mux can reach them; nil otherwise.
 	prof   *Profiler
 	tracer *Tracer
 }
+
+// mirrorBox wraps the interface value so it fits an atomic.Pointer.
+type mirrorBox struct{ m EventMirror }
 
 // New creates a telemetry registry with default options.
 func New() *Telemetry { return NewWithOptions(Options{}) }
@@ -171,13 +193,31 @@ func (t *Telemetry) RecordOn(shard int, op Op, d time.Duration) {
 	t.hists[op].Record(shard, uint64(d))
 }
 
-// Emit appends a journal event. Nil-safe. subheap is -1 when the event is
-// not sub-heap scoped.
+// SetMirror attaches an event mirror (nil detaches). Nil-safe on the
+// registry. The latest mirror wins — reloading a heap over a shared
+// registry re-points the mirror at the new heap's recorder.
+func (t *Telemetry) SetMirror(m EventMirror) {
+	if t == nil {
+		return
+	}
+	if m == nil {
+		t.mirror.Store(nil)
+		return
+	}
+	t.mirror.Store(&mirrorBox{m: m})
+}
+
+// Emit appends a journal event and forwards the stamped entry to the
+// attached mirror, if any. Nil-safe. subheap is -1 when the event is not
+// sub-heap scoped.
 func (t *Telemetry) Emit(kind EventKind, subheap int, detail string) {
 	if t == nil {
 		return
 	}
-	t.journal.Emit(kind, subheap, detail)
+	e := t.journal.Emit(kind, subheap, detail)
+	if box := t.mirror.Load(); box != nil {
+		box.m.MirrorEvent(e)
+	}
 }
 
 // Events returns the retained journal events without clearing them.

@@ -203,6 +203,57 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 		b.line(`poseidon_trace_spans_dropped_total %d`, s.Trace.Dropped)
 	}
 
+	if s.Watchdog != nil {
+		b.header("poseidon_stalls_total", "counter",
+			"In-flight operations the watchdog saw exceed their stall threshold.")
+		b.line(`poseidon_stalls_total %d`, s.Watchdog.Stalls)
+		b.header("poseidon_watchdog_enabled", "gauge",
+			"1 when the stall watchdog goroutine is running.")
+		b.line(`poseidon_watchdog_enabled %d`, boolInt(s.Watchdog.Enabled))
+		b.header("poseidon_watchdog_stall_threshold_seconds", "gauge",
+			"Deadline after which an in-flight locked operation counts as stalled.")
+		b.line(`poseidon_watchdog_stall_threshold_seconds %s`, seconds(uint64(s.Watchdog.StallThresholdNS)))
+		b.header("poseidon_device_flush_outliers_total", "counter",
+			"Device flushes exceeding the latency tap threshold.")
+		b.line(`poseidon_device_flush_outliers_total %d`, s.Watchdog.FlushOutliers)
+		b.header("poseidon_device_fence_outliers_total", "counter",
+			"Device fences exceeding the latency tap threshold.")
+		b.line(`poseidon_device_fence_outliers_total %d`, s.Watchdog.FenceOutliers)
+	}
+
+	if s.Blackbox != nil {
+		b.header("poseidon_blackbox_enabled", "gauge",
+			"1 when the crash-surviving flight recorder has a persistent ring.")
+		b.line(`poseidon_blackbox_enabled %d`, boolInt(s.Blackbox.Enabled))
+		b.header("poseidon_blackbox_capacity_records", "gauge",
+			"Record slots in the persistent black-box ring.")
+		b.line(`poseidon_blackbox_capacity_records %d`, s.Blackbox.CapacityRecords)
+		b.header("poseidon_blackbox_persisted_records_total", "counter",
+			"Records published to the black-box ring this boot.")
+		b.line(`poseidon_blackbox_persisted_records_total %d`, s.Blackbox.Persisted)
+		b.header("poseidon_blackbox_dropped_records_total", "counter",
+			"Staged entries displaced from the bounded staging buffer before publish.")
+		b.line(`poseidon_blackbox_dropped_records_total %d`, s.Blackbox.Dropped)
+		b.header("poseidon_blackbox_torn_records_total", "counter",
+			"Ring slots found damaged (torn tail) at load.")
+		b.line(`poseidon_blackbox_torn_records_total %d`, s.Blackbox.Torn)
+	}
+
+	if s.Build != nil {
+		b.header("poseidon_build_info", "gauge",
+			"Build identity of the running binary; value is always 1.")
+		b.line(`poseidon_build_info{go_version=%q,revision=%q,modified=%q} 1`,
+			s.Build.GoVersion, s.Build.Revision, strconv.FormatBool(s.Build.Modified))
+	}
+	if s.Runtime != nil {
+		b.header("poseidon_boot_epoch", "gauge",
+			"Boot epoch of the heap image (monotone across restarts).")
+		b.line(`poseidon_boot_epoch %d`, s.Runtime.BootEpoch)
+		b.header("poseidon_uptime_seconds", "gauge",
+			"Seconds since this process opened the heap.")
+		b.line(`poseidon_uptime_seconds %s`, f64(s.Runtime.UptimeSeconds))
+	}
+
 	return b.err
 }
 

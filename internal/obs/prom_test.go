@@ -31,6 +31,12 @@ func goldenSnapshot() *Snapshot {
 		Profile: &ProfileStats{Enabled: true, Rate: 64, Epoch: 2, Sites: 2,
 			SampledAllocs: 10, SampledFrees: 4, DroppedSites: 0, PersistedGens: 3},
 		Trace: &TracerStats{Enabled: true, Rate: 128, Sampled: 7, Dropped: 1},
+		Watchdog: &WatchdogStats{Enabled: true, StallThresholdNS: 50_000_000,
+			Stalls: 2, FlushOutliers: 3, FenceOutliers: 1, FlushMaxNS: 900, FenceMaxNS: 400},
+		Blackbox: &BlackboxStats{Enabled: true, CapacityRecords: 510,
+			Persisted: 25, Dropped: 1, Torn: 1, Epoch: 3, NextSeq: 25},
+		Build:   &BuildInfo{GoVersion: "go1.23.0", Revision: "abc123", Modified: false},
+		Runtime: &RuntimeStatus{BootEpoch: 3, UptimeSeconds: 12.5},
 	}
 }
 
@@ -160,6 +166,45 @@ poseidon_trace_spans_total 7
 # HELP poseidon_trace_spans_dropped_total Op spans overwritten in the fixed ring before export.
 # TYPE poseidon_trace_spans_dropped_total counter
 poseidon_trace_spans_dropped_total 1
+# HELP poseidon_stalls_total In-flight operations the watchdog saw exceed their stall threshold.
+# TYPE poseidon_stalls_total counter
+poseidon_stalls_total 2
+# HELP poseidon_watchdog_enabled 1 when the stall watchdog goroutine is running.
+# TYPE poseidon_watchdog_enabled gauge
+poseidon_watchdog_enabled 1
+# HELP poseidon_watchdog_stall_threshold_seconds Deadline after which an in-flight locked operation counts as stalled.
+# TYPE poseidon_watchdog_stall_threshold_seconds gauge
+poseidon_watchdog_stall_threshold_seconds 0.05
+# HELP poseidon_device_flush_outliers_total Device flushes exceeding the latency tap threshold.
+# TYPE poseidon_device_flush_outliers_total counter
+poseidon_device_flush_outliers_total 3
+# HELP poseidon_device_fence_outliers_total Device fences exceeding the latency tap threshold.
+# TYPE poseidon_device_fence_outliers_total counter
+poseidon_device_fence_outliers_total 1
+# HELP poseidon_blackbox_enabled 1 when the crash-surviving flight recorder has a persistent ring.
+# TYPE poseidon_blackbox_enabled gauge
+poseidon_blackbox_enabled 1
+# HELP poseidon_blackbox_capacity_records Record slots in the persistent black-box ring.
+# TYPE poseidon_blackbox_capacity_records gauge
+poseidon_blackbox_capacity_records 510
+# HELP poseidon_blackbox_persisted_records_total Records published to the black-box ring this boot.
+# TYPE poseidon_blackbox_persisted_records_total counter
+poseidon_blackbox_persisted_records_total 25
+# HELP poseidon_blackbox_dropped_records_total Staged entries displaced from the bounded staging buffer before publish.
+# TYPE poseidon_blackbox_dropped_records_total counter
+poseidon_blackbox_dropped_records_total 1
+# HELP poseidon_blackbox_torn_records_total Ring slots found damaged (torn tail) at load.
+# TYPE poseidon_blackbox_torn_records_total counter
+poseidon_blackbox_torn_records_total 1
+# HELP poseidon_build_info Build identity of the running binary; value is always 1.
+# TYPE poseidon_build_info gauge
+poseidon_build_info{go_version="go1.23.0",revision="abc123",modified="false"} 1
+# HELP poseidon_boot_epoch Boot epoch of the heap image (monotone across restarts).
+# TYPE poseidon_boot_epoch gauge
+poseidon_boot_epoch 3
+# HELP poseidon_uptime_seconds Seconds since this process opened the heap.
+# TYPE poseidon_uptime_seconds gauge
+poseidon_uptime_seconds 12.5
 `
 
 func TestWritePrometheusGolden(t *testing.T) {

@@ -101,6 +101,13 @@ type Snapshot struct {
 	Events   EventsSnapshot
 	Profile  *ProfileStats `json:",omitempty"`
 	Trace    *TracerStats  `json:",omitempty"`
+	// Build, Runtime, Watchdog and Blackbox are filled by core (Heap.Metrics):
+	// build identity, boot epoch/uptime, stall-watchdog counters and the
+	// persistent flight recorder's state.
+	Build    *BuildInfo     `json:",omitempty"`
+	Runtime  *RuntimeStatus `json:",omitempty"`
+	Watchdog *WatchdogStats `json:",omitempty"`
+	Blackbox *BlackboxStats `json:",omitempty"`
 }
 
 // Snapshot merges every histogram shard, the attribution table and the

@@ -114,6 +114,33 @@ func (t *Tracer) Spans() []Span {
 	return out
 }
 
+// SpansSince returns the buffered spans with Seq >= seq, oldest first —
+// the black-box recorder's incremental pull at each publish point. Nil-safe.
+func (t *Tracer) SpansSince(seq uint64) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	cap := uint64(len(t.ring))
+	start := uint64(0)
+	if n > cap {
+		start = n - cap
+	}
+	if seq > start {
+		start = seq
+	}
+	if start >= n {
+		return nil
+	}
+	out := make([]Span, 0, n-start)
+	for i := start; i < n; i++ {
+		out = append(out, t.ring[i%cap])
+	}
+	return out
+}
+
 // Stats summarises the tracer. Nil-safe (zero value).
 func (t *Tracer) Stats() TracerStats {
 	if t == nil {

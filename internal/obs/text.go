@@ -104,6 +104,23 @@ func WriteText(w io.Writer, s *Snapshot) error {
 		b.line("trace: %d spans recorded (rate 1/%d, %d dropped)",
 			s.Trace.Sampled, s.Trace.Rate, s.Trace.Dropped)
 	}
+	if s.Watchdog != nil && s.Watchdog.Enabled {
+		b.line("watchdog: %d stalls (threshold %s), %d flush outliers, %d fence outliers",
+			s.Watchdog.Stalls, durStr(uint64(s.Watchdog.StallThresholdNS)),
+			s.Watchdog.FlushOutliers, s.Watchdog.FenceOutliers)
+	}
+	if s.Blackbox != nil && s.Blackbox.Enabled {
+		b.line("blackbox: epoch %d, %d/%d records persisted this boot, %d dropped, %d torn at load",
+			s.Blackbox.Epoch, s.Blackbox.Persisted, s.Blackbox.CapacityRecords,
+			s.Blackbox.Dropped, s.Blackbox.Torn)
+	}
+	if s.Build != nil {
+		b.line("build: %s, revision %s (modified: %v)",
+			s.Build.GoVersion, s.Build.Revision, s.Build.Modified)
+	}
+	if s.Runtime != nil {
+		b.line("boot: epoch %d, up %.1fs", s.Runtime.BootEpoch, s.Runtime.UptimeSeconds)
+	}
 
 	if s.Events.Emitted > 0 {
 		b.line("events: %d emitted, %d overwritten", s.Events.Emitted, s.Events.Overwritten)

@@ -70,6 +70,15 @@ type (
 	// 1-in-Rate operations record spans with their flush/fence/retry
 	// sub-events, rendered as Chrome trace-event JSON by Heap.TraceJSON.
 	TraceOptions = core.TraceOptions
+	// WatchdogOptions configures the stall watchdog (Options.Watchdog): a
+	// background goroutine that journals EventStall when a sub-heap
+	// operation holds its lock past StallThreshold, feeds the
+	// poseidon_stalls_total counter, and paces black-box ring publishes.
+	// Requires Options.Telemetry.
+	WatchdogOptions = core.WatchdogOptions
+	// BlackboxEntry is one reconstructed black-box timeline entry (event,
+	// span or stall) returned by Heap.BlackboxTimeline.
+	BlackboxEntry = core.BlackboxEntry
 	// Telemetry is the observability registry: pass one in
 	// Options.Telemetry to get latency histograms, per-class device-traffic
 	// attribution, per-sub-heap gauges and the event journal. See
